@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: flag parsing and header
+ * banners. Every bench accepts `--quick` (shorter runs for CI) and
+ * `--seed N`.
+ */
+
+#ifndef XUI_BENCH_BENCH_UTIL_HH
+#define XUI_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xui::bench
+{
+
+struct Options
+{
+    bool quick = false;
+    std::uint64_t seed = 1;
+};
+
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opts.quick = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--quick] [--seed N]\n", argv[0]);
+            std::exit(0);
+        }
+    }
+    return opts;
+}
+
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("\n================================================="
+                "=====================\n");
+    std::printf("%s\n", title);
+    std::printf("Reproduces: %s\n", paper_ref);
+    std::printf("==================================================="
+                "===================\n\n");
+}
+
+} // namespace xui::bench
+
+#endif // XUI_BENCH_BENCH_UTIL_HH

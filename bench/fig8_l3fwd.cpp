@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 8 reproduction: l3fwd efficiency — cycle accounting
+ * (networking / polling / notification / free) and p95 latency for
+ * spin-polling vs xUI interrupt forwarding, across offered load and
+ * 1/2/4/8 NIC queues, with the 16,000-entry DIR-24-8 LPM table.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "net/l3fwd.hh"
+#include "stats/table.hh"
+
+using namespace xui;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner("Figure 8: Improving l3fwd efficiency",
+                  "xUI paper, Fig. 8 (free cycles and latency vs "
+                  "load, 1/2/4/8 NICs)");
+
+    Cycles duration = (opts.quick ? 20 : 100) * kCyclesPerMs;
+    std::size_t routes = opts.quick ? 4000 : 16000;
+
+    for (unsigned nics : {1u, 2u, 4u, 8u}) {
+        TablePrinter t("NICs = " + std::to_string(nics) +
+                       " (cycle fractions; latency in us)");
+        t.setHeader({"Load", "poll net%", "poll free%", "xUI net%",
+                     "xUI notif%", "xUI free%", "poll p95",
+                     "xUI p95", "thr ratio"});
+        for (double load : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+            L3FwdConfig base;
+            base.duration = duration;
+            base.routeCount = routes;
+            base.numNics = nics;
+            base.load = load;
+            base.seed = opts.seed;
+
+            L3FwdConfig pc = base;
+            pc.mode = RxMode::Polling;
+            L3FwdResult poll = runL3Fwd(pc);
+
+            L3FwdConfig xc = base;
+            xc.mode = RxMode::XuiForwarded;
+            L3FwdResult xui = runL3Fwd(xc);
+
+            double thr_ratio = poll.forwarded
+                ? static_cast<double>(xui.forwarded) /
+                    static_cast<double>(poll.forwarded)
+                : 1.0;
+            t.addRow(
+                {TablePrinter::percent(load, 0),
+                 TablePrinter::percent(poll.networkingFrac, 1),
+                 TablePrinter::percent(poll.freeFrac, 1),
+                 TablePrinter::percent(xui.networkingFrac, 1),
+                 TablePrinter::percent(xui.notificationFrac, 1),
+                 TablePrinter::percent(xui.freeFrac, 1),
+                 TablePrinter::num(
+                     cyclesToUs(static_cast<Cycles>(
+                         poll.latency.p95())),
+                     2),
+                 TablePrinter::num(
+                     cyclesToUs(static_cast<Cycles>(
+                         xui.latency.p95())),
+                     2),
+                 TablePrinter::num(thr_ratio, 4)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout
+        << "Paper anchors: polling always burns 100% of the core; "
+           "at 40% load with 1 queue\nxUI leaves ~45% of cycles "
+           "free; throughput within 0.08%; p95 within +2%/-8%/+65%\n"
+           "for 1/4/8 NICs.\n";
+    return 0;
+}

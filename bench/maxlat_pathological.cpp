@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Section 6.1 "Maximum interrupt latency" reproduction: tracked
+ * interrupts never discard work, but their delivery can be delayed
+ * by in-flight instructions. The pathological case fills the pipe
+ * with a long chain of cache-missing loads whose final value feeds
+ * the stack pointer — which the delivery microcode reads. Sweeps
+ * chain length, with and without the SP dependence, comparing
+ * tracked and flush delivery latency.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "uarch/uarch_system.hh"
+#include "workloads/kernels.hh"
+
+using namespace xui;
+
+namespace
+{
+
+double
+measureDeliveryLatency(unsigned chain, bool feed_sp,
+                       DeliveryStrategy strategy, bool quick)
+{
+    // 8 MB working set: chain loads miss L1/L2 and hit the LLC,
+    // as in the paper's experiment.
+    Program prog = makePointerChase(chain, 8ull << 20, feed_sp);
+    CoreParams params;
+    params.strategy = strategy;
+    UarchSystem sys(9);
+    OooCore &core = sys.addCore(params, &prog);
+    core.kbTimer().configure(true, 0x21);
+
+    SummaryStats lat;
+    unsigned samples = quick ? 4 : 12;
+    for (unsigned i = 0; i < samples; ++i) {
+        core.runCycles(30000);  // refill the pipe with the chain
+        std::size_t before = core.stats().intrRecords.size();
+        core.kbTimer().setTimer(core.now(), core.now() + 50,
+                                KbTimerMode::OneShot);
+        core.runCycles(400000);
+        if (core.stats().intrRecords.size() > before) {
+            // Latency to the handler *starting to execute* — with
+            // tracking this precedes retirement of older work.
+            const auto &r = core.stats().intrRecords.back();
+            lat.add(static_cast<double>(r.deliveryExecAt -
+                                        r.raisedAt));
+        }
+    }
+    return lat.max();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Section 6.1: Maximum interrupt latency (pathological case)",
+        "xUI paper, worst-case tracked delivery under a long "
+        "SP-feeding miss chain");
+
+    TablePrinter t("Worst-case delivery latency (cycles) vs chain "
+                   "length");
+    t.setHeader({"Chain loads", "Tracked (SP feed)",
+                 "Tracked (no SP)", "Flush (SP feed)"});
+    for (unsigned chain : {10u, 20u, 30u, 50u}) {
+        double tracked_sp = measureDeliveryLatency(
+            chain, true, DeliveryStrategy::Tracked, opts.quick);
+        double tracked_nosp = measureDeliveryLatency(
+            chain, false, DeliveryStrategy::Tracked, opts.quick);
+        double flush_sp = measureDeliveryLatency(
+            chain, true, DeliveryStrategy::Flush, opts.quick);
+        t.addRow({TablePrinter::integer(chain),
+                  TablePrinter::num(tracked_sp, 0),
+                  TablePrinter::num(tracked_nosp, 0),
+                  TablePrinter::num(flush_sp, 0)});
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nPaper anchors: ~7000-cycle worst case for tracking "
+           "with a >=50-deep chain feeding\nSP; flushing is an order "
+           "of magnitude lower there (it squashes the chain), while\n"
+           "on typical workloads tracking is faster (see fig4 "
+           "bench).\n";
+    return 0;
+}

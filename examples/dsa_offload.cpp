@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Accelerator offload (the Fig. 9 scenario): submit asynchronous
+ * operations to the simulated DSA-like streaming accelerator and
+ * receive completions three ways — busy spinning, periodic polling,
+ * and xUI forwarded interrupts — under noisy 20 us offloads.
+ *
+ * Also demonstrates the raw DsaDevice API with a custom completion
+ * callback.
+ *
+ * Build & run:  ./examples/dsa_offload
+ */
+
+#include <cstdio>
+
+#include "core/xui.hh"
+
+using namespace xui;
+
+int
+main()
+{
+    // --- Raw device usage ---------------------------------------------
+    {
+        Simulation sim(3);
+        CostModel costs;
+        DsaLatencyParams lat;
+        lat.meanServiceTime = usToCycles(2.0);
+        DsaDevice dev(sim, costs, lat);
+
+        DsaDescriptor desc;
+        desc.op = DsaOp::Memmove;
+        desc.bytes = 16 * 1024;
+        dev.submit(desc, [&](const DsaCompletion &c) {
+            std::printf("offload #%llu: device busy %.2f us, "
+                        "completion visible at %.2f us\n",
+                        (unsigned long long)c.id,
+                        cyclesToUs(c.completedAt - c.submittedAt),
+                        cyclesToUs(c.visibleAt));
+        });
+        sim.queue().runAll();
+    }
+
+    // --- Completion-notification strategies ----------------------------
+    std::printf("\n20us offloads with 30%% response-time noise, "
+                "closed loop:\n\n");
+    for (WaitStrategy s : {WaitStrategy::BusySpin,
+                           WaitStrategy::PeriodicPoll,
+                           WaitStrategy::XuiInterrupt}) {
+        DsaClientConfig cfg;
+        cfg.strategy = s;
+        cfg.latency.meanServiceTime = usToCycles(20.0);
+        cfg.latency.noiseFraction = 0.3;
+        cfg.duration = 100 * kCyclesPerMs;
+        cfg.seed = 5;
+        DsaClientResult r = runDsaClient(cfg);
+        const char *name = s == WaitStrategy::BusySpin
+            ? "busy spin"
+            : s == WaitStrategy::PeriodicPoll ? "periodic poll"
+                                              : "xUI interrupt";
+        std::printf("%-15s %6.0f IOPS   delivery latency %5.2f us   "
+                    "free cycles %5.1f%%\n",
+                    name, r.ipos,
+                    cyclesToUs(static_cast<Cycles>(
+                        r.deliveryLatency.mean())),
+                    r.freeFrac * 100);
+    }
+    std::printf("\nxUI matches busy-spin responsiveness while "
+                "leaving the core almost entirely free.\n");
+    return 0;
+}

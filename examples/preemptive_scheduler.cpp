@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Preemptive user-level scheduling (the Fig. 7 scenario): a KV
+ * store served by the Aspen-like runtime, comparing run-to-
+ * completion against xUI KB-timer preemption under a bimodal
+ * workload where 580 us SCANs block 1.2 us GETs.
+ *
+ * Build & run:  ./examples/preemptive_scheduler
+ */
+
+#include <cstdio>
+
+#include "core/xui.hh"
+
+using namespace xui;
+
+static void
+runOnce(PreemptMode mode, const char *label)
+{
+    KvServerConfig cfg;
+    cfg.mode = mode;
+    cfg.quantum = usToCycles(5);
+    cfg.offeredLoadRps = 100000.0;
+    cfg.duration = 200 * kCyclesPerMs;
+    cfg.seed = 7;
+    KvServerResult r = runKvServer(cfg);
+
+    std::printf("%-22s GET p50 %6.1f us  GET p99 %8.1f us  "
+                "SCAN p99 %8.1f us  (%llu reqs",
+                label,
+                cyclesToUs((Cycles)r.getLatency.p50()),
+                cyclesToUs((Cycles)r.getLatency.p99()),
+                cyclesToUs((Cycles)r.scanLatency.p99()),
+                (unsigned long long)r.completed);
+    if (mode == PreemptMode::UipiSwTimer)
+        std::printf(", +1 timer core");
+    std::printf(")\n");
+}
+
+int
+main()
+{
+    std::printf("KV server, 99.5%% GET (1.2us) / 0.5%% SCAN "
+                "(580us), 100k req/s, one worker core\n\n");
+    runOnce(PreemptMode::None, "run-to-completion");
+    runOnce(PreemptMode::UipiSwTimer, "UIPI @5us quantum");
+    runOnce(PreemptMode::XuiKbTimer, "xUI KB timer @5us");
+    std::printf("\nPreemption rescues the GET tail from "
+                "head-of-line blocking behind SCANs;\n"
+                "xUI does it without a dedicated timer core and at "
+                "1/6 the per-event cost.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: send a user interrupt from one simulated core to
+ * another and watch xUI's tracked delivery handle it.
+ *
+ * Demonstrates the cycle-tier public API end to end:
+ *  1. build two small programs (a sender loop and a spin receiver
+ *     with a user-level handler);
+ *  2. create a two-core UarchSystem and register a UIPI route
+ *     (kernel register_handler + register_sender);
+ *  3. run, then read the per-interrupt timeline records.
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/xui.hh"
+
+using namespace xui;
+
+int
+main()
+{
+    // The receiver spins on rdtsc (the paper's Table 2 receiver)
+    // and owns a user interrupt handler.
+    KernelOptions opts;
+    opts.handlerWork = 4;
+    Program receiver_prog = makeSpinLoop(opts);
+
+    // The sender issues senduipi to UITT index 0, padded so each
+    // delivery completes before the next send.
+    ProgramBuilder sb("sender");
+    std::uint32_t top = sb.here();
+    sb.sendUipi(0);
+    for (int i = 0; i < 600; ++i)
+        sb.intMult(reg::kGpr0 + 1, reg::kGpr0 + 1);
+    sb.jump(top);
+    sb.beginHandler();
+    sb.uiret();
+    Program sender_prog = sb.build();
+
+    // Receiver uses xUI tracked interrupts; sender is a stock core.
+    CoreParams sender_params;
+    CoreParams recv_params;
+    recv_params.strategy = DeliveryStrategy::Tracked;
+
+    UarchSystem system(/*seed=*/42);
+    OooCore &sender = system.addCore(sender_params, &sender_prog);
+    OooCore &receiver = system.addCore(recv_params, &receiver_prog);
+
+    // Kernel-side setup: allocate the receiver's UPID and a UITT
+    // entry granting the sender permission (user vector 5).
+    int route = system.registerRoute(receiver, /*user_vector=*/5);
+    std::printf("registered UIPI route, UITT index %d\n", route);
+
+    system.run(100000);
+
+    const CoreStats &rs = receiver.stats();
+    std::printf("sender issued %zu senduipis; receiver delivered "
+                "%llu user interrupts\n",
+                sender.stats().sendRecords.size(),
+                (unsigned long long)rs.interruptsDelivered);
+
+    if (!rs.intrRecords.empty()) {
+        const IntrRecord &r = rs.intrRecords.back();
+        std::printf("\nlast delivery timeline (cycles):\n");
+        std::printf("  IPI raised at          %llu\n",
+                    (unsigned long long)r.raisedAt);
+        std::printf("  accepted (+%llu)\n",
+                    (unsigned long long)(r.acceptedAt - r.raisedAt));
+        std::printf("  microcode injected (+%llu)\n",
+                    (unsigned long long)(r.injectedAt - r.raisedAt));
+        std::printf("  handler entered (+%llu)\n",
+                    (unsigned long long)(r.deliveryExecAt -
+                                         r.raisedAt));
+        std::printf("  uiret retired (+%llu)\n",
+                    (unsigned long long)(r.uiretCommitAt -
+                                         r.raisedAt));
+    }
+    std::printf("\nreceiver ran %llu instructions in %llu cycles "
+                "(IPC %.2f) while taking interrupts\n",
+                (unsigned long long)rs.committedInsts,
+                (unsigned long long)rs.cycles,
+                (double)rs.committedInsts / (double)rs.cycles);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Closed-loop offload client for the DSA experiment (Fig. 9): submit
+ * one offload at a time and receive the completion with one of three
+ * strategies — busy spinning on the completion record, periodic
+ * polling driven by the OS interval timer, or an xUI forwarded
+ * device interrupt.
+ */
+
+#ifndef XUI_ACCEL_CLIENT_HH
+#define XUI_ACCEL_CLIENT_HH
+
+#include <cstdint>
+
+#include "accel/dsa.hh"
+#include "stats/histogram.hh"
+
+namespace xui
+{
+
+/** Completion-notification strategy (Fig. 9 series). */
+enum class WaitStrategy : std::uint8_t
+{
+    BusySpin,
+    PeriodicPoll,
+    XuiInterrupt,
+};
+
+/** Configuration for one client run. */
+struct DsaClientConfig
+{
+    CostModel costs;
+    DsaLatencyParams latency;
+    WaitStrategy strategy = WaitStrategy::BusySpin;
+    /**
+     * Periodic-poll interval. The first poll aims at the *expected*
+     * completion time; subsequent polls repeat at this interval
+     * (paper: 2 us, "almost at the limit of the OS interval timer").
+     */
+    Cycles pollInterval = usToCycles(2.0);
+    Cycles duration = 100 * kCyclesPerMs;
+    std::uint64_t seed = 1;
+};
+
+/** Results of one client run. */
+struct DsaClientResult
+{
+    std::uint64_t offloads = 0;
+    /** Completion-record visibility -> client notices it. */
+    Histogram deliveryLatency;
+    /** Submission -> processing finished (end-to-end). */
+    Histogram requestLatency;
+    /** Core cycles not consumed by the wait mechanism (0..1). */
+    double freeFrac = 0.0;
+    /** Offloads per second (IOPS). */
+    double ipos = 0.0;
+};
+
+/** Run the closed-loop experiment once. */
+DsaClientResult runDsaClient(const DsaClientConfig &config);
+
+} // namespace xui
+
+#endif // XUI_ACCEL_CLIENT_HH

@@ -1,0 +1,80 @@
+#include "accel/dsa.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+DsaDevice::DsaDevice(Simulation &sim, const CostModel &costs,
+                     const DsaLatencyParams &latency,
+                     std::size_t ring_depth)
+    : sim_(sim), costs_(costs), latency_(latency),
+      queue_(ring_depth), rng_(sim.makeRng())
+{}
+
+Cycles
+DsaDevice::drawServiceTime()
+{
+    double mean = static_cast<double>(latency_.meanServiceTime);
+    double noise = latency_.noiseFraction;
+    if (noise <= 0.0)
+        return latency_.meanServiceTime;
+    // Uniform +/- noiseFraction * mean (paper: "random noise with
+    // varying magnitude").
+    double lo = mean * (1.0 - noise);
+    double hi = mean * (1.0 + noise);
+    UniformDist dist(lo, hi);
+    double v = dist.sample(rng_);
+    return v < 1.0 ? 1 : static_cast<Cycles>(v);
+}
+
+bool
+DsaDevice::submit(DsaDescriptor desc,
+                  std::function<void(const DsaCompletion &)> on_done)
+{
+    desc.submittedAt = sim_.now();
+    Pending p{desc, std::move(on_done)};
+    if (!queue_.push(std::move(p))) {
+        ++rejected_;
+        return false;
+    }
+    ++accepted_;
+    if (!busy_) {
+        busy_ = true;
+        // The descriptor crosses PCIe before work begins.
+        sim_.queue().scheduleAfter(costs_.pcieLatency,
+                                   [this] { startNext(); });
+    }
+    return true;
+}
+
+void
+DsaDevice::startNext()
+{
+    Pending p;
+    if (!queue_.pop(p)) {
+        busy_ = false;
+        return;
+    }
+    Cycles service = drawServiceTime();
+    sim_.queue().scheduleAfter(service, [this, p = std::move(p),
+                                         service]() mutable {
+        DsaCompletion comp;
+        comp.id = p.desc.id;
+        comp.submittedAt = p.desc.submittedAt;
+        comp.completedAt = sim_.now();
+        // The completion record crosses PCIe back to host memory.
+        Cycles visible_at = sim_.now() + costs_.pcieLatency;
+        comp.visibleAt = visible_at;
+        ++completed_;
+        sim_.queue().scheduleAfter(
+            costs_.pcieLatency,
+            [cb = std::move(p.onDone), comp] {
+                if (cb)
+                    cb(comp);
+            });
+        startNext();
+    });
+}
+
+} // namespace xui

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Simulated streaming accelerator modeled after Intel DSA (§5.4):
+ * descriptor-ring submission over PCIe, configurable offload latency
+ * with noise, completion records, and optional completion interrupts
+ * for xUI interrupt forwarding.
+ */
+
+#ifndef XUI_ACCEL_DSA_HH
+#define XUI_ACCEL_DSA_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "des/simulation.hh"
+#include "net/ring.hh"
+#include "os/cost_model.hh"
+#include "stats/distributions.hh"
+
+namespace xui
+{
+
+/** Offload operation types (a subset of DSA's). */
+enum class DsaOp : std::uint8_t
+{
+    Memmove,
+    Fill,
+    Compare,
+    Crc32,
+};
+
+/** One work descriptor. */
+struct DsaDescriptor
+{
+    std::uint64_t id = 0;
+    DsaOp op = DsaOp::Memmove;
+    std::uint32_t bytes = 16 * 1024;
+    Cycles submittedAt = 0;
+};
+
+/** Completion record written back by the device. */
+struct DsaCompletion
+{
+    std::uint64_t id = 0;
+    Cycles submittedAt = 0;
+    /** When the device finished the operation. */
+    Cycles completedAt = 0;
+    /** When the completion record became host-visible. */
+    Cycles visibleAt = 0;
+};
+
+/** Device latency configuration (paper: 2 us and 20 us classes). */
+struct DsaLatencyParams
+{
+    /** Mean offload service time. */
+    Cycles meanServiceTime = usToCycles(2.0);
+    /**
+     * Noise magnitude as a fraction of the mean (uniform +/-): the
+     * Fig. 9 x-axis ("unpredictability").
+     */
+    double noiseFraction = 0.0;
+};
+
+/** The simulated accelerator. */
+class DsaDevice
+{
+  public:
+    /**
+     * @param sim simulation context
+     * @param costs PCIe/submission costs
+     * @param latency service-time distribution
+     * @param ring_depth work-queue capacity
+     */
+    DsaDevice(Simulation &sim, const CostModel &costs,
+              const DsaLatencyParams &latency,
+              std::size_t ring_depth = 64);
+
+    /**
+     * Submit a descriptor (asynchronous, SPDK-style §5.4). The
+     * completion callback fires when the completion record becomes
+     * visible to the host.
+     * @return false when the work queue is full.
+     */
+    bool submit(DsaDescriptor desc,
+                std::function<void(const DsaCompletion &)> on_done);
+
+    /** Offloads accepted. */
+    std::uint64_t accepted() const { return accepted_; }
+
+    /** Offloads rejected (ring full). */
+    std::uint64_t rejected() const { return rejected_; }
+
+    /** Offloads completed. */
+    std::uint64_t completed() const { return completed_; }
+
+    const DsaLatencyParams &latency() const { return latency_; }
+
+    /** Draw one service time (exposed for tests). */
+    Cycles drawServiceTime();
+
+  private:
+    struct Pending
+    {
+        DsaDescriptor desc;
+        std::function<void(const DsaCompletion &)> onDone;
+    };
+
+    void startNext();
+
+    Simulation &sim_;
+    CostModel costs_;
+    DsaLatencyParams latency_;
+    DescRing<Pending> queue_;
+    bool busy_ = false;
+    Rng rng_;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace xui
+
+#endif // XUI_ACCEL_DSA_HH

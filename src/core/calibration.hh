@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Calibration bridge: runs the cycle-tier core model on the paper's
+ * microbenchmarks and extracts the per-mechanism costs that the
+ * system tier's CostModel consumes — the same two-step methodology
+ * the paper used (measure Sapphire Rapids, calibrate gem5, run
+ * end-to-end experiments).
+ */
+
+#ifndef XUI_CORE_CALIBRATION_HH
+#define XUI_CORE_CALIBRATION_HH
+
+#include "des/time.hh"
+#include "os/cost_model.hh"
+
+namespace xui
+{
+
+/** Costs measured on the cycle-tier simulator. */
+struct CalibrationResult
+{
+    /** Table 2: cycles per successful senduipi. */
+    double senduipiCost = 0.0;
+    /** Table 2: end-to-end latency, senduipi start -> handler. */
+    double endToEndLatency = 0.0;
+    /** Table 2: receiver-side cost per UIPI (flush strategy). */
+    double receiverCostFlush = 0.0;
+    /** Fig. 4: per-event receiver cost, tracked UIPI. */
+    double receiverCostTracked = 0.0;
+    /** Fig. 4: per-event receiver cost, KB timer + tracking. */
+    double receiverCostKbTimer = 0.0;
+    /** Table 2: clui cost. */
+    double cluiCost = 0.0;
+    /** Table 2: stui cost. */
+    double stuiCost = 0.0;
+
+    // Fig. 2 timeline (cycles from senduipi dispatch).
+    double ipiArrival = 0.0;       ///< IPI interrupts receiver flow
+    double notifyStart = 0.0;      ///< first notification event
+    double deliveryDone = 0.0;     ///< handler entered
+    double uiretCost = 0.0;        ///< uiret duration
+};
+
+/**
+ * Run the calibration experiments on the cycle tier.
+ * @param quick reduce iteration counts (used by tests).
+ */
+CalibrationResult calibrateFromCycleSim(bool quick = false);
+
+/**
+ * A CostModel whose notification entries are replaced by cycle-tier
+ * measurements; everything else keeps the paper-derived defaults.
+ */
+CostModel makeCalibratedCostModel(const CalibrationResult &calib);
+
+} // namespace xui
+
+#endif // XUI_CORE_CALIBRATION_HH

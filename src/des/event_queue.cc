@@ -1,0 +1,114 @@
+#include "des/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace xui
+{
+
+EventQueue::EventQueue()
+    : now_(0), nextSeq_(0), nextId_(1), live_(0)
+{}
+
+EventId
+EventQueue::scheduleAt(Cycles when, Callback cb)
+{
+    assert(when >= now_ && "cannot schedule in the past");
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(cb)});
+    ++live_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Cycles delta, Callback cb)
+{
+    return scheduleAt(now_ + delta, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == kInvalidEventId)
+        return false;
+    // Only mark if it could still be pending; duplicates are benign
+    // but we keep the live count exact by checking insertion result.
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted && live_ > 0) {
+        --live_;
+        return true;
+    }
+    if (inserted)
+        cancelled_.erase(id);
+    return false;
+}
+
+bool
+EventQueue::popLive(Entry &out)
+{
+    while (!heap_.empty()) {
+        // priority_queue::top is const; the callback must be moved
+        // out, so copy the POD bits and const_cast the function.
+        const Entry &top = heap_.top();
+        if (cancelled_.erase(top.id)) {
+            heap_.pop();
+            continue;
+        }
+        out.when = top.when;
+        out.seq = top.seq;
+        out.id = top.id;
+        out.cb = std::move(const_cast<Entry &>(top).cb);
+        heap_.pop();
+        --live_;
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::runOne()
+{
+    Entry e;
+    if (!popLive(e))
+        return false;
+    assert(e.when >= now_);
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Cycles limit)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (cancelled_.count(top.id)) {
+            cancelled_.erase(top.id);
+            heap_.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        if (!runOne())
+            break;
+        ++executed;
+    }
+    if (now_ < limit && live_ == 0)
+        now_ = limit;
+    else if (now_ < limit && !heap_.empty())
+        now_ = limit;
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t executed = 0;
+    while (runOne())
+        ++executed;
+    return executed;
+}
+
+} // namespace xui

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled for the same cycle fire in scheduling order (a
+ * monotonically increasing sequence number breaks ties), which makes
+ * whole-system simulations reproducible regardless of heap internals.
+ * Cancellation is lazy: cancelled entries are skipped at pop time.
+ */
+
+#ifndef XUI_DES_EVENT_QUEUE_HH
+#define XUI_DES_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "des/time.hh"
+
+namespace xui
+{
+
+/** Opaque handle identifying a scheduled event, used to cancel it. */
+using EventId = std::uint64_t;
+
+/** Sentinel returned when no event exists. */
+constexpr EventId kInvalidEventId = 0;
+
+/** Min-heap of timed callbacks with stable same-cycle ordering. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue();
+
+    /** Current simulated time; advances as events are processed. */
+    Cycles now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute time.
+     * @pre when >= now()
+     * @return handle usable with cancel().
+     */
+    EventId scheduleAt(Cycles when, Callback cb);
+
+    /** Schedule a callback delta cycles from now. */
+    EventId scheduleAfter(Cycles delta, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was still pending.
+     */
+    bool cancel(EventId id);
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t pending() const { return live_; }
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Pop and run the next event.
+     * @return false when the queue is empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or the time limit is passed.
+     * Events scheduled exactly at the limit still run; the simulated
+     * clock never exceeds limit on return unless events at `limit`
+     * scheduled more work in the past (which is forbidden).
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Cycles limit);
+
+    /** Run every remaining event (careful with self-rescheduling). */
+    std::uint64_t runAll();
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop skipping cancelled entries; false when empty. */
+    bool popLive(Entry &out);
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<EventId> cancelled_;
+    Cycles now_;
+    std::uint64_t nextSeq_;
+    EventId nextId_;
+    std::size_t live_;
+};
+
+} // namespace xui
+
+#endif // XUI_DES_EVENT_QUEUE_HH

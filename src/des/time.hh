@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simulated-time definitions shared by both simulation tiers.
+ *
+ * All timing in the repository is expressed in CPU cycles at the
+ * paper's 2.0 GHz clock (Table 3), so 2000 cycles == 1 microsecond.
+ * Using one unit everywhere lets the DES tier consume cost constants
+ * calibrated on the cycle tier without conversion ambiguity.
+ */
+
+#ifndef XUI_DES_TIME_HH
+#define XUI_DES_TIME_HH
+
+#include <cstdint>
+
+namespace xui
+{
+
+/** Simulated time / durations, in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Clock frequency used throughout (Table 3: 2.0 GHz). */
+constexpr double kClockGhz = 2.0;
+
+/** Cycles per microsecond at the global clock. */
+constexpr Cycles kCyclesPerUs = 2000;
+
+/** Cycles per millisecond. */
+constexpr Cycles kCyclesPerMs = kCyclesPerUs * 1000;
+
+/** Cycles per second. */
+constexpr Cycles kCyclesPerSec = kCyclesPerMs * 1000;
+
+/** Convert microseconds to cycles. */
+constexpr Cycles
+usToCycles(double us)
+{
+    return static_cast<Cycles>(us * static_cast<double>(kCyclesPerUs));
+}
+
+/** Convert cycles to microseconds. */
+constexpr double
+cyclesToUs(Cycles cycles)
+{
+    return static_cast<double>(cycles) /
+        static_cast<double>(kCyclesPerUs);
+}
+
+/** Convert cycles to nanoseconds. */
+constexpr double
+cyclesToNs(Cycles cycles)
+{
+    return static_cast<double>(cycles) * 1000.0 /
+        static_cast<double>(kCyclesPerUs);
+}
+
+} // namespace xui
+
+#endif // XUI_DES_TIME_HH

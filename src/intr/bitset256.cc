@@ -1,0 +1,91 @@
+#include "intr/bitset256.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace xui
+{
+
+void
+Bitset256::set(unsigned idx)
+{
+    assert(idx < 256);
+    words_[idx >> 6] |= 1ull << (idx & 63);
+}
+
+void
+Bitset256::clear(unsigned idx)
+{
+    assert(idx < 256);
+    words_[idx >> 6] &= ~(1ull << (idx & 63));
+}
+
+bool
+Bitset256::test(unsigned idx) const
+{
+    assert(idx < 256);
+    return (words_[idx >> 6] >> (idx & 63)) & 1;
+}
+
+bool
+Bitset256::any() const
+{
+    return words_[0] | words_[1] | words_[2] | words_[3];
+}
+
+unsigned
+Bitset256::count() const
+{
+    unsigned total = 0;
+    for (auto w : words_)
+        total += static_cast<unsigned>(std::popcount(w));
+    return total;
+}
+
+unsigned
+Bitset256::findFirst() const
+{
+    for (unsigned i = 0; i < 4; ++i) {
+        if (words_[i])
+            return i * 64 +
+                static_cast<unsigned>(std::countr_zero(words_[i]));
+    }
+    return 256;
+}
+
+unsigned
+Bitset256::findHighest() const
+{
+    for (int i = 3; i >= 0; --i) {
+        if (words_[i])
+            return static_cast<unsigned>(i) * 64 + 63 -
+                static_cast<unsigned>(std::countl_zero(words_[i]));
+    }
+    return 256;
+}
+
+void
+Bitset256::clearAll()
+{
+    words_ = {0, 0, 0, 0};
+}
+
+Bitset256
+Bitset256::operator&(const Bitset256 &o) const
+{
+    Bitset256 r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.words_[i] = words_[i] & o.words_[i];
+    return r;
+}
+
+Bitset256
+Bitset256::operator|(const Bitset256 &o) const
+{
+    Bitset256 r;
+    for (unsigned i = 0; i < 4; ++i)
+        r.words_[i] = words_[i] | o.words_[i];
+    return r;
+}
+
+} // namespace xui

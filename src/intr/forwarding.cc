@@ -1,0 +1,33 @@
+#include "intr/forwarding.hh"
+
+namespace xui
+{
+
+Bitset256
+Dupid::fetchAndClear()
+{
+    Bitset256 out = pending_;
+    pending_.clearAll();
+    return out;
+}
+
+ForwardOutcome
+ForwardingUnit::onInterrupt(unsigned vector)
+{
+    if (!enabled_.test(vector))
+        return ForwardOutcome::NotForwarded;
+    uirr_.set(vector);
+    return active_.test(vector) ? ForwardOutcome::FastPath
+                                : ForwardOutcome::SlowPath;
+}
+
+unsigned
+ForwardingUnit::takeHighestUirr()
+{
+    unsigned v = uirr_.findHighest();
+    if (v < 256)
+        uirr_.clear(v);
+    return v;
+}
+
+} // namespace xui

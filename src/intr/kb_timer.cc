@@ -1,0 +1,90 @@
+#include "intr/kb_timer.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+void
+KbTimer::configure(bool enabled, std::uint8_t vector)
+{
+    enabled_ = enabled;
+    vector_ = vector;
+    if (!enabled_)
+        armed_ = false;
+}
+
+bool
+KbTimer::setTimer(Cycles now, Cycles cycles, KbTimerMode mode)
+{
+    if (!enabled_)
+        return false;
+    mode_ = mode;
+    armed_ = true;
+    if (mode == KbTimerMode::Periodic) {
+        assert(cycles > 0 && "periodic timer needs a nonzero period");
+        period_ = cycles;
+        deadline_ = now + cycles;
+    } else {
+        period_ = 0;
+        deadline_ = cycles;
+    }
+    return true;
+}
+
+void
+KbTimer::clearTimer()
+{
+    armed_ = false;
+}
+
+void
+KbTimer::acknowledge()
+{
+    if (!armed_)
+        return;
+    if (mode_ == KbTimerMode::Periodic)
+        deadline_ += period_;
+    else
+        armed_ = false;
+}
+
+KbTimerSave
+KbTimer::saveAndDisarm()
+{
+    KbTimerSave save;
+    save.armed = armed_;
+    save.mode = mode_;
+    save.deadline = deadline_;
+    save.period = period_;
+    save.vector = vector_;
+    armed_ = false;
+    return save;
+}
+
+bool
+KbTimer::restore(const KbTimerSave &save, Cycles now)
+{
+    armed_ = save.armed;
+    mode_ = save.mode;
+    deadline_ = save.deadline;
+    period_ = save.period;
+    vector_ = save.vector;
+    if (!armed_)
+        return false;
+    if (now >= deadline_) {
+        // The deadline passed while the thread was descheduled; the
+        // kernel delivers the missed interrupt and, for periodic
+        // timers, realigns the next deadline past `now`.
+        if (mode_ == KbTimerMode::Periodic) {
+            while (deadline_ <= now)
+                deadline_ += period_;
+        } else {
+            armed_ = false;
+        }
+        return true;
+    }
+    return false;
+}
+
+} // namespace xui

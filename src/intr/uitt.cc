@@ -1,0 +1,54 @@
+#include "intr/uitt.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+Uitt::Uitt(std::size_t capacity)
+    : entries_(capacity)
+{}
+
+int
+Uitt::allocate(Upid *upid, std::uint8_t user_vector)
+{
+    assert(upid != nullptr);
+    assert(user_vector < kNumUserVectors);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (!entries_[i].valid) {
+            entries_[i] = UittEntry{true, upid, user_vector};
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+void
+Uitt::release(int index)
+{
+    if (index < 0 ||
+        static_cast<std::size_t>(index) >= entries_.size())
+        return;
+    entries_[static_cast<std::size_t>(index)] = UittEntry{};
+}
+
+const UittEntry *
+Uitt::lookup(int index) const
+{
+    if (index < 0 ||
+        static_cast<std::size_t>(index) >= entries_.size())
+        return nullptr;
+    const UittEntry &e = entries_[static_cast<std::size_t>(index)];
+    return e.valid ? &e : nullptr;
+}
+
+std::size_t
+Uitt::validCount() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace xui

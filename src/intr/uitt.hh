@@ -1,0 +1,60 @@
+/**
+ * @file
+ * User Interrupt Target Table (UITT) — the per-process table that
+ * both grants send permission and provides routing state for
+ * senduipi. Each entry is a (UPID pointer, user vector) tuple; the
+ * senduipi operand is an index into this table.
+ */
+
+#ifndef XUI_INTR_UITT_HH
+#define XUI_INTR_UITT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "intr/upid.hh"
+
+namespace xui
+{
+
+/** One UITT entry: destination descriptor plus the UV to post. */
+struct UittEntry
+{
+    bool valid = false;
+    /** Non-owning; the kernel model owns all UPIDs. */
+    Upid *upid = nullptr;
+    /** User vector (6 bits) delivered to the receiver. */
+    std::uint8_t userVector = 0;
+};
+
+/** Per-process user-interrupt target table. */
+class Uitt
+{
+  public:
+    /** @param capacity maximum number of send routes. */
+    explicit Uitt(std::size_t capacity = 256);
+
+    /**
+     * Install a route (kernel-side register_sender()).
+     * @return the UITT index to pass to senduipi, or -1 if full.
+     */
+    int allocate(Upid *upid, std::uint8_t user_vector);
+
+    /** Remove a route; the index may be reused. */
+    void release(int index);
+
+    /** Entry lookup used by the senduipi microcode. */
+    const UittEntry *lookup(int index) const;
+
+    /** Number of valid entries. */
+    std::size_t validCount() const;
+
+    std::size_t capacity() const { return entries_.size(); }
+
+  private:
+    std::vector<UittEntry> entries_;
+};
+
+} // namespace xui
+
+#endif // XUI_INTR_UITT_HH

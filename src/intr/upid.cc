@@ -1,0 +1,73 @@
+#include "intr/upid.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+void
+Upid::setOutstanding(bool v)
+{
+    if (v)
+        low_ |= 1ull;
+    else
+        low_ &= ~1ull;
+}
+
+void
+Upid::setSuppressed(bool v)
+{
+    if (v)
+        low_ |= 2ull;
+    else
+        low_ &= ~2ull;
+}
+
+std::uint8_t
+Upid::notificationVector() const
+{
+    return static_cast<std::uint8_t>((low_ >> 16) & 0xffull);
+}
+
+void
+Upid::setNotificationVector(std::uint8_t nv)
+{
+    low_ = (low_ & ~(0xffull << 16)) |
+        (static_cast<std::uint64_t>(nv) << 16);
+}
+
+std::uint32_t
+Upid::destination() const
+{
+    return static_cast<std::uint32_t>((low_ >> 32) & 0xffffffffull);
+}
+
+void
+Upid::setDestination(std::uint32_t apic_id)
+{
+    low_ = (low_ & 0xffffffffull) |
+        (static_cast<std::uint64_t>(apic_id) << 32);
+}
+
+Upid::PostResult
+Upid::post(unsigned user_vector)
+{
+    assert(user_vector < kNumUserVectors);
+    pir_ |= 1ull << user_vector;
+    PostResult result{true, false};
+    if (!suppressed() && !outstanding()) {
+        setOutstanding(true);
+        result.sendIpi = true;
+    }
+    return result;
+}
+
+std::uint64_t
+Upid::fetchAndClearPir()
+{
+    std::uint64_t pending = pir_;
+    pir_ = 0;
+    return pending;
+}
+
+} // namespace xui

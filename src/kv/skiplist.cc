@@ -1,0 +1,114 @@
+#include "kv/skiplist.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+SkipList::SkipList(std::uint64_t seed)
+    : head_(new Node("", "", kMaxLevel)), level_(1), size_(0),
+      rng_(seed)
+{}
+
+SkipList::~SkipList()
+{
+    Node *node = head_;
+    while (node) {
+        Node *next = node->next[0];
+        delete node;
+        node = next;
+    }
+}
+
+unsigned
+SkipList::randomHeight()
+{
+    unsigned h = 1;
+    while (h < kMaxLevel && rng_.nextBool(0.25))
+        ++h;
+    return h;
+}
+
+SkipList::Node *
+SkipList::findPredecessors(const std::string &key,
+                           Node **preds) const
+{
+    Node *node = head_;
+    for (int lvl = static_cast<int>(level_) - 1; lvl >= 0; --lvl) {
+        while (node->next[lvl] && node->next[lvl]->key < key)
+            node = node->next[lvl];
+        if (preds)
+            preds[lvl] = node;
+    }
+    return node->next[0];
+}
+
+bool
+SkipList::put(const std::string &key, std::string value)
+{
+    Node *preds[kMaxLevel];
+    for (unsigned i = 0; i < kMaxLevel; ++i)
+        preds[i] = head_;
+    Node *hit = findPredecessors(key, preds);
+
+    if (hit && hit->key == key) {
+        hit->value = std::move(value);
+        return false;
+    }
+
+    unsigned height = randomHeight();
+    if (height > level_)
+        level_ = height;
+
+    Node *node = new Node(key, std::move(value), height);
+    for (unsigned lvl = 0; lvl < height; ++lvl) {
+        node->next[lvl] = preds[lvl]->next[lvl];
+        preds[lvl]->next[lvl] = node;
+    }
+    ++size_;
+    return true;
+}
+
+std::optional<std::string>
+SkipList::get(const std::string &key) const
+{
+    Node *hit = findPredecessors(key, nullptr);
+    if (hit && hit->key == key)
+        return hit->value;
+    return std::nullopt;
+}
+
+bool
+SkipList::erase(const std::string &key)
+{
+    Node *preds[kMaxLevel];
+    for (unsigned i = 0; i < kMaxLevel; ++i)
+        preds[i] = head_;
+    Node *hit = findPredecessors(key, preds);
+    if (!hit || hit->key != key)
+        return false;
+
+    for (unsigned lvl = 0; lvl < level_; ++lvl) {
+        if (preds[lvl]->next[lvl] == hit)
+            preds[lvl]->next[lvl] = hit->next[lvl];
+    }
+    delete hit;
+    while (level_ > 1 && head_->next[level_ - 1] == nullptr)
+        --level_;
+    --size_;
+    return true;
+}
+
+std::vector<std::pair<std::string, std::string>>
+SkipList::scan(const std::string &start, std::size_t limit) const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    Node *node = findPredecessors(start, nullptr);
+    while (node && out.size() < limit) {
+        out.emplace_back(node->key, node->value);
+        node = node->next[0];
+    }
+    return out;
+}
+
+} // namespace xui

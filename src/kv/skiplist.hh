@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ordered in-memory skiplist — the memtable behind the KV store used
+ * in the RocksDB reproduction (§5.3). A real data structure (not a
+ * stub): probabilistic tower heights, ordered iteration for SCAN,
+ * overwrite semantics for repeated PUTs.
+ */
+
+#ifndef XUI_KV_SKIPLIST_HH
+#define XUI_KV_SKIPLIST_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace xui
+{
+
+/** string -> string ordered map with skiplist internals. */
+class SkipList
+{
+  public:
+    static constexpr unsigned kMaxLevel = 16;
+
+    explicit SkipList(std::uint64_t seed = 0x5eed);
+    ~SkipList();
+
+    SkipList(const SkipList &) = delete;
+    SkipList &operator=(const SkipList &) = delete;
+
+    /** Insert or overwrite. @return true when the key was new. */
+    bool put(const std::string &key, std::string value);
+
+    /** Point lookup. */
+    std::optional<std::string> get(const std::string &key) const;
+
+    /** Remove. @return true when the key existed. */
+    bool erase(const std::string &key);
+
+    /**
+     * Range scan: up to `limit` pairs with key >= start, in order.
+     */
+    std::vector<std::pair<std::string, std::string>>
+    scan(const std::string &start, std::size_t limit) const;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Current tower height (tests). */
+    unsigned level() const { return level_; }
+
+  private:
+    struct Node
+    {
+        std::string key;
+        std::string value;
+        std::vector<Node *> next;
+
+        Node(std::string k, std::string v, unsigned height)
+            : key(std::move(k)), value(std::move(v)),
+              next(height, nullptr)
+        {}
+    };
+
+    unsigned randomHeight();
+    /** Last node with key < target at every level. */
+    Node *findPredecessors(const std::string &key,
+                           Node **preds) const;
+
+    Node *head_;
+    unsigned level_;
+    std::size_t size_;
+    mutable Rng rng_;
+};
+
+} // namespace xui
+
+#endif // XUI_KV_SKIPLIST_HH

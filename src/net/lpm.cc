@@ -1,0 +1,137 @@
+#include "net/lpm.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+LpmTable::LpmTable(unsigned max_tbl8_groups)
+    : tbl24_(1u << 24, 0),
+      tbl24Depth_(1u << 24, 0),
+      tbl8_(static_cast<std::size_t>(max_tbl8_groups) * 256),
+      maxTbl8_(max_tbl8_groups),
+      tbl8Next_(0),
+      routeCount_(0)
+{}
+
+bool
+LpmTable::addRoute(std::uint32_t prefix, unsigned depth,
+                   NextHop next_hop)
+{
+    if (depth < 1 || depth > 32 || next_hop > kValueMask)
+        return false;
+    // Mask host bits so callers can pass any address in the prefix.
+    std::uint32_t mask =
+        depth == 32 ? 0xffffffffu : ~(0xffffffffu >> depth);
+    prefix &= mask;
+
+    bool ok = depth <= 24 ? addShallowRoute(prefix, depth, next_hop)
+                          : addDeepRoute(prefix, depth, next_hop);
+    if (ok)
+        ++routeCount_;
+    return ok;
+}
+
+bool
+LpmTable::addShallowRoute(std::uint32_t prefix, unsigned depth,
+                          NextHop next_hop)
+{
+    std::uint32_t start = prefix >> 8;
+    std::uint32_t span = 1u << (24 - depth);
+    std::uint16_t fresh = static_cast<std::uint16_t>(
+        kValid | (next_hop & kValueMask));
+
+    for (std::uint32_t i = start; i < start + span; ++i) {
+        std::uint16_t cur = tbl24_[i];
+        if (cur & kExtended) {
+            // Propagate into the existing tbl8 group where this
+            // route is the longest match.
+            std::uint32_t group = cur & kValueMask;
+            Tbl8Entry *g = &tbl8_[group * 256];
+            for (unsigned j = 0; j < 256; ++j) {
+                if (!(g[j].entry & kValid) || g[j].depth <= depth) {
+                    g[j].entry = fresh;
+                    g[j].depth = static_cast<std::uint8_t>(depth);
+                }
+            }
+        } else if (!(cur & kValid) || tbl24Depth_[i] <= depth) {
+            tbl24_[i] = fresh;
+            tbl24Depth_[i] = static_cast<std::uint8_t>(depth);
+        }
+    }
+    return true;
+}
+
+int
+LpmTable::allocateTbl8(std::uint16_t inherited_entry,
+                       std::uint8_t inherited_depth)
+{
+    if (tbl8Next_ >= maxTbl8_)
+        return -1;
+    unsigned group = tbl8Next_++;
+    Tbl8Entry *g = &tbl8_[static_cast<std::size_t>(group) * 256];
+    for (unsigned j = 0; j < 256; ++j) {
+        g[j].entry = inherited_entry;
+        g[j].depth = inherited_depth;
+    }
+    return static_cast<int>(group);
+}
+
+bool
+LpmTable::addDeepRoute(std::uint32_t prefix, unsigned depth,
+                       NextHop next_hop)
+{
+    std::uint32_t idx = prefix >> 8;
+    std::uint16_t cur = tbl24_[idx];
+    std::uint32_t group;
+
+    if (cur & kExtended) {
+        group = cur & kValueMask;
+    } else {
+        // Expand: new group inherits the covering shallow route.
+        std::uint16_t inherited =
+            (cur & kValid)
+                ? static_cast<std::uint16_t>(kValid |
+                                             (cur & kValueMask))
+                : std::uint16_t{0};
+        int alloc = allocateTbl8(inherited, tbl24Depth_[idx]);
+        if (alloc < 0)
+            return false;
+        group = static_cast<std::uint32_t>(alloc);
+        tbl24_[idx] = static_cast<std::uint16_t>(
+            kValid | kExtended | (group & kValueMask));
+        // Depth of the tbl24 slot itself no longer applies.
+    }
+
+    unsigned low = prefix & 0xff;
+    unsigned span = 1u << (32 - depth);
+    Tbl8Entry *g = &tbl8_[static_cast<std::size_t>(group) * 256];
+    std::uint16_t fresh = static_cast<std::uint16_t>(
+        kValid | (next_hop & kValueMask));
+    for (unsigned j = low; j < low + span; ++j) {
+        if (!(g[j].entry & kValid) || g[j].depth <= depth) {
+            g[j].entry = fresh;
+            g[j].depth = static_cast<std::uint8_t>(depth);
+        }
+    }
+    return true;
+}
+
+LpmTable::NextHop
+LpmTable::lookup(std::uint32_t ip) const
+{
+    std::uint16_t e = tbl24_[ip >> 8];
+    if (e & kExtended) {
+        const Tbl8Entry &t =
+            tbl8_[static_cast<std::size_t>(e & kValueMask) * 256 +
+                  (ip & 0xff)];
+        if (t.entry & kValid)
+            return t.entry & kValueMask;
+        return kNoRoute;
+    }
+    if (e & kValid)
+        return e & kValueMask;
+    return kNoRoute;
+}
+
+} // namespace xui

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-capacity descriptor ring, the queue structure between a NIC
+ * (or accelerator) and its driver. Single producer, single consumer,
+ * power-of-two capacity.
+ */
+
+#ifndef XUI_NET_RING_HH
+#define XUI_NET_RING_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace xui
+{
+
+/** Bounded FIFO ring buffer. */
+template <typename T>
+class DescRing
+{
+  public:
+    /** @param capacity must be a power of two. */
+    explicit DescRing(std::size_t capacity = 1024)
+        : slots_(capacity), mask_(capacity - 1), head_(0), tail_(0)
+    {
+        assert(capacity > 0 && (capacity & (capacity - 1)) == 0);
+    }
+
+    /** @return false when the ring is full (entry dropped). */
+    bool
+    push(T value)
+    {
+        if (full())
+            return false;
+        slots_[tail_ & mask_] = std::move(value);
+        ++tail_;
+        return true;
+    }
+
+    /** @return false when empty. */
+    bool
+    pop(T &out)
+    {
+        if (empty())
+            return false;
+        out = std::move(slots_[head_ & mask_]);
+        ++head_;
+        return true;
+    }
+
+    /** Peek without consuming. @pre !empty() */
+    const T &front() const { return slots_[head_ & mask_]; }
+
+    bool empty() const { return head_ == tail_; }
+    bool full() const { return tail_ - head_ == slots_.size(); }
+    std::size_t size() const { return tail_ - head_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+    std::uint64_t head_;
+    std::uint64_t tail_;
+};
+
+} // namespace xui
+
+#endif // XUI_NET_RING_HH

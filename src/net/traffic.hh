@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Route-table and traffic generation for l3fwd: random prefixes for
+ * the 16,000-entry LPM table and packet destination addresses drawn
+ * from the installed prefixes, with exponential inter-arrival times
+ * (§5.4: "we modified the packet generator to use an exponential
+ * distribution ... to more accurately model the burstiness of real
+ * network traffic").
+ */
+
+#ifndef XUI_NET_TRAFFIC_HH
+#define XUI_NET_TRAFFIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/lpm.hh"
+#include "stats/rng.hh"
+
+namespace xui
+{
+
+/** One generated route (for addressing traffic at it). */
+struct RouteSpec
+{
+    std::uint32_t prefix;
+    unsigned depth;
+    LpmTable::NextHop nextHop;
+};
+
+/**
+ * Install `count` random routes (mixed depths 8..28, deduplicated
+ * against exact repeats) into `table`.
+ * @return the installed routes.
+ */
+std::vector<RouteSpec> installRandomRoutes(LpmTable &table,
+                                           std::size_t count,
+                                           Rng &rng);
+
+/** Pick a destination IP covered by one of the routes. */
+std::uint32_t randomCoveredIp(const std::vector<RouteSpec> &routes,
+                              Rng &rng);
+
+} // namespace xui
+
+#endif // XUI_NET_TRAFFIC_HH

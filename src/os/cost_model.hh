@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Calibrated cost table for the DES (system) tier.
+ *
+ * Every notification/OS mechanism cost used by the request-level
+ * simulations is collected here, in cycles at 2 GHz. Defaults come
+ * from the paper's measurements (Table 2, Fig. 2, §2, §6.1) and from
+ * this repository's own cycle-tier calibration (bench/table2): the
+ * same two-step methodology the paper used for its gem5 model.
+ */
+
+#ifndef XUI_OS_COST_MODEL_HH
+#define XUI_OS_COST_MODEL_HH
+
+#include "des/time.hh"
+
+namespace xui
+{
+
+/** Per-event costs of every mechanism the evaluation compares. */
+struct CostModel
+{
+    // ----- receiver-side notification costs (per delivered event) --
+    /** UIPI with Intel's flush-based delivery (Fig. 4: ~645). */
+    Cycles uipiFlushReceive = 645;
+    /** xUI tracked interrupt, IPI source (Fig. 4: ~231). */
+    Cycles uipiTrackedReceive = 231;
+    /** xUI KB-timer interrupt: skips the UPID (Fig. 4: ~105). */
+    Cycles kbTimerReceive = 105;
+    /** xUI forwarded device interrupt: also UPID-free (§4.5). */
+    Cycles forwardedReceive = 105;
+    /** POSIX signal delivery (§2: ~2.4 us at 2 GHz). */
+    Cycles signalReceive = 4800;
+    /** Negative poll check: L1 hit + predicted branch (§2). */
+    Cycles pollCheck = 3;
+    /** Positive poll: cache miss + branch mispredict (~100, §2). */
+    Cycles pollNotify = 100;
+    /** umwait wakeup on a monitored line (C0.1 exit latency). */
+    Cycles mwaitWake = 250;
+
+    // ----- sender-side costs ----------------------------------------
+    /** senduipi instruction (Table 2: 383). */
+    Cycles senduipiCost = 383;
+    /** APIC-to-APIC notification latency (Fig. 2: ~380 from send). */
+    Cycles ipiWire = 380;
+    /** clui / stui pair guarding a critical section (Table 2). */
+    Cycles cluiStuiPair = 34;
+
+    // ----- OS service costs ------------------------------------------
+    /** Kernel context switch (~1.2 us of the signal cost, §2). */
+    Cycles contextSwitch = 2400;
+    /** Bare syscall entry/exit. */
+    Cycles syscall = 500;
+    /** User-level thread switch in the runtime (register save). */
+    Cycles userContextSwitch = 60;
+    /**
+     * Timer-core cost per setitimer()-driven event: signal delivery
+     * to the timer thread plus syscall work (Fig. 6).
+     */
+    Cycles setitimerEvent = 5200;
+    /**
+     * Timer-core cost per nanosleep()-driven event: sleep + wakeup,
+     * i.e.\ two context switches plus syscall (Fig. 6).
+     */
+    Cycles nanosleepEvent = 5600;
+    /** One rdtsc-spin check on a dedicated timing core. */
+    Cycles rdtscSpinCheck = 30;
+    /**
+     * One OS-interval-timer-driven poll on the waiting application
+     * core (timer interrupt + handler queue check, Fig. 9).
+     */
+    Cycles periodicPollTick = 800;
+    /** Programming the KB timer from user space (set_timer). */
+    Cycles kbTimerProgram = 12;
+
+    // ----- device / application costs ---------------------------------
+    /** l3fwd per-packet work: LPM lookup + header rewrite + TX. */
+    Cycles packetProcess = 300;
+    /** DSA completion-record processing once noticed. */
+    Cycles completionProcess = 120;
+    /** DSA submission (descriptor write + doorbell over PCIe). */
+    Cycles offloadSubmit = 250;
+    /** PCIe one-way latency device -> host (completion write). */
+    Cycles pcieLatency = 600;
+};
+
+} // namespace xui
+
+#endif // XUI_OS_COST_MODEL_HH

@@ -1,0 +1,402 @@
+#include "os/kernel.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+Kernel::Kernel(Simulation &sim, const CostModel &costs,
+               unsigned num_cores)
+    : sim_(sim), costs_(costs), cores_(num_cores)
+{
+    assert(num_cores >= 1);
+}
+
+Kernel::Thread &
+Kernel::thread(ThreadId id)
+{
+    assert(id < threads_.size() && threads_[id].exists);
+    return threads_[id];
+}
+
+const Kernel::Thread &
+Kernel::thread(ThreadId id) const
+{
+    assert(id < threads_.size() && threads_[id].exists);
+    return threads_[id];
+}
+
+ThreadId
+Kernel::createThread()
+{
+    Thread t;
+    t.exists = true;
+    threads_.push_back(std::move(t));
+    return static_cast<ThreadId>(threads_.size() - 1);
+}
+
+ThreadId
+Kernel::runningOn(CoreId core) const
+{
+    assert(core < cores_.size());
+    return cores_[core].running;
+}
+
+bool
+Kernel::isRunning(ThreadId id) const
+{
+    return thread(id).running;
+}
+
+unsigned
+Kernel::drainParked(Thread &t)
+{
+    unsigned delivered = 0;
+    // UIPI slow path: interrupts posted to the UPID while the thread
+    // was descheduled are reposted as self-UIPIs on resume (§3.2).
+    if (t.hasUpid && t.upid.hasPending()) {
+        std::uint64_t pir = t.upid.fetchAndClearPir();
+        t.upid.clearOutstanding();
+        for (unsigned v = 0; v < kNumUserVectors; ++v) {
+            if ((pir >> v) & 1) {
+                if (t.handler)
+                    t.handler(v);
+                ++delivered;
+            }
+        }
+    }
+    // Forwarded-interrupt slow path: drain the DUPID (§4.5).
+    if (t.dupid.hasPending()) {
+        Bitset256 parked = t.dupid.fetchAndClear();
+        for (unsigned v = parked.findFirst(); v < 256;
+             v = parked.findFirst()) {
+            parked.clear(v);
+            if (t.handler)
+                t.handler(v);
+            ++delivered;
+        }
+    }
+    return delivered;
+}
+
+Cycles
+Kernel::scheduleOn(ThreadId id, CoreId core_id)
+{
+    assert(core_id < cores_.size());
+    Core &core = cores_[core_id];
+    Cycles cost = costs_.contextSwitch;
+
+    if (core.running != kNoThread && core.running != id)
+        cost += deschedule(core.running) - costs_.contextSwitch;
+
+    Thread &t = thread(id);
+    assert(!t.running && "thread already running elsewhere");
+    t.running = true;
+    t.core = core_id;
+    core.running = id;
+
+    // Resume accepts user interrupts again: clear SN.
+    if (t.hasUpid) {
+        t.upid.setSuppressed(false);
+        t.upid.setDestination(core_id);
+    }
+
+    // Restore the KB timer image; a missed deadline fires now.
+    if (t.timerEnabled) {
+        core.timer.configure(true, t.timerVector);
+        bool missed = t.timerSave.armed &&
+            core.timer.restore(t.timerSave, sim_.now());
+        if (missed && t.handler) {
+            t.handler(t.timerVector);
+            cost += costs_.kbTimerReceive;
+        }
+    } else {
+        core.timer.configure(false, 0);
+    }
+
+    // Publish the thread's forwarded vectors.
+    core.fwd.setActiveMask(t.fwdMask);
+
+    // Deliver anything parked while the thread was out.
+    unsigned reposts = drainParked(t);
+    cost += reposts * costs_.uipiTrackedReceive;
+
+    // A pending interval-timer signal fires on resume.
+    if (t.pendingSignal) {
+        t.pendingSignal = false;
+        if (t.handler)
+            t.handler(t.pendingSigno);
+        ++signalsDelivered_;
+        cost += costs_.signalReceive;
+    }
+
+    return cost;
+}
+
+Cycles
+Kernel::deschedule(ThreadId id)
+{
+    Thread &t = thread(id);
+    if (!t.running)
+        return 0;
+    Core &core = cores_[t.core];
+
+    // Halt further sender notifications (SN bit, §3.2).
+    if (t.hasUpid)
+        t.upid.setSuppressed(true);
+
+    // Save the live timer so it can be restored on resume (§4.3).
+    if (t.timerEnabled)
+        t.timerSave = core.timer.saveAndDisarm();
+
+    // The next thread's forwarded_active mask replaces this one's;
+    // clear it in the meantime so arrivals take the slow path.
+    core.fwd.setActiveMask(Bitset256{});
+
+    t.running = false;
+    core.running = kNoThread;
+    return costs_.contextSwitch;
+}
+
+void
+Kernel::registerHandler(ThreadId id,
+                        std::function<void(unsigned)> handler)
+{
+    Thread &t = thread(id);
+    t.hasUpid = true;
+    t.handler = std::move(handler);
+    t.upid.setNotificationVector(0xec);
+    upidOwner_[&t.upid] = id;
+}
+
+int
+Kernel::registerSender(ThreadId target, std::uint8_t user_vector)
+{
+    Thread &t = thread(target);
+    if (!t.hasUpid)
+        return -1;
+    return uitt_.allocate(&t.upid, user_vector);
+}
+
+DeliveryPath
+Kernel::senduipi(int uitt_index)
+{
+    const UittEntry *entry = uitt_.lookup(uitt_index);
+    assert(entry != nullptr && "senduipi with invalid UITT index");
+
+    Upid::PostResult result = entry->upid->post(entry->userVector);
+    if (!result.sendIpi)
+        return DeliveryPath::Suppressed;
+
+    auto it = upidOwner_.find(entry->upid);
+    assert(it != upidOwner_.end());
+    Thread &t = thread(it->second);
+    if (!t.running) {
+        // Race: SN not yet observed; kernel captures it for later.
+        return DeliveryPath::Deferred;
+    }
+    // Fast path: notification IPI hits the running thread.
+    std::uint64_t pir = t.upid.fetchAndClearPir();
+    t.upid.clearOutstanding();
+    for (unsigned v = 0; v < kNumUserVectors; ++v) {
+        if (((pir >> v) & 1) && t.handler)
+            t.handler(v);
+    }
+    return DeliveryPath::Fast;
+}
+
+void
+Kernel::enableKbTimer(ThreadId id, std::uint8_t vector)
+{
+    Thread &t = thread(id);
+    t.timerEnabled = true;
+    t.timerVector = vector;
+    t.timerSave = KbTimerSave{};
+    if (t.running)
+        cores_[t.core].timer.configure(true, vector);
+}
+
+void
+Kernel::disableKbTimer(ThreadId id)
+{
+    Thread &t = thread(id);
+    t.timerEnabled = false;
+    if (t.running)
+        cores_[t.core].timer.configure(false, 0);
+}
+
+bool
+Kernel::setTimer(ThreadId id, Cycles cycles, KbTimerMode mode)
+{
+    Thread &t = thread(id);
+    if (!t.timerEnabled)
+        return false;
+    if (t.running)
+        return cores_[t.core].timer.setTimer(sim_.now(), cycles, mode);
+    // Programming while descheduled updates the saved image.
+    t.timerSave.armed = true;
+    t.timerSave.mode = mode;
+    t.timerSave.vector = t.timerVector;
+    if (mode == KbTimerMode::Periodic) {
+        t.timerSave.period = cycles;
+        t.timerSave.deadline = sim_.now() + cycles;
+    } else {
+        t.timerSave.period = 0;
+        t.timerSave.deadline = cycles;
+    }
+    return true;
+}
+
+void
+Kernel::clearTimer(ThreadId id)
+{
+    Thread &t = thread(id);
+    if (t.running)
+        cores_[t.core].timer.clearTimer();
+    else
+        t.timerSave.armed = false;
+}
+
+KbTimer &
+Kernel::coreTimer(CoreId core)
+{
+    assert(core < cores_.size());
+    return cores_[core].timer;
+}
+
+bool
+Kernel::pollKbTimer(CoreId core_id, Cycles now)
+{
+    Core &core = cores_[core_id];
+    if (!core.timer.expired(now))
+        return false;
+    core.timer.acknowledge();
+    ThreadId running = core.running;
+    if (running != kNoThread) {
+        Thread &t = thread(running);
+        if (t.handler)
+            t.handler(core.timer.vector());
+    }
+    return true;
+}
+
+int
+Kernel::registerForwarding(ThreadId id, CoreId core_id)
+{
+    assert(core_id < cores_.size());
+    Core &core = cores_[core_id];
+    if (core.nextFwdVector == 0)
+        return -1;  // 256-vector space exhausted (§4.5 limitation)
+    unsigned vector = core.nextFwdVector++;
+    if (vector >= 256) {
+        core.nextFwdVector = 255;
+        return -1;
+    }
+
+    Thread &t = thread(id);
+    core.fwd.enableVector(vector);
+    t.fwdMask.set(vector);
+    if (t.running && t.core == core_id)
+        core.fwd.setActiveMask(t.fwdMask);
+    return static_cast<int>(vector);
+}
+
+DeliveryPath
+Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
+{
+    assert(core_id < cores_.size());
+    Core &core = cores_[core_id];
+    ForwardOutcome outcome = core.fwd.onInterrupt(vector);
+
+    switch (outcome) {
+      case ForwardOutcome::FastPath: {
+        unsigned v = core.fwd.takeHighestUirr();
+        ThreadId running = core.running;
+        assert(running != kNoThread);
+        Thread &t = thread(running);
+        if (t.handler)
+            t.handler(v);
+        return DeliveryPath::Fast;
+      }
+      case ForwardOutcome::SlowPath: {
+        unsigned v = core.fwd.takeHighestUirr();
+        ThreadId owner = forwardOwner(core_id, v);
+        if (owner != kNoThread)
+            thread(owner).dupid.post(v);
+        return DeliveryPath::Deferred;
+      }
+      case ForwardOutcome::NotForwarded:
+        return DeliveryPath::Deferred;
+    }
+    return DeliveryPath::Deferred;
+}
+
+ThreadId
+Kernel::forwardOwner(CoreId core_id, unsigned vector) const
+{
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        const Thread &t = threads_[i];
+        if (t.exists && t.fwdMask.test(vector) &&
+            (t.running ? t.core == core_id : true))
+            return static_cast<ThreadId>(i);
+    }
+    return kNoThread;
+}
+
+int
+Kernel::setInterval(ThreadId id, Cycles interval, unsigned signo)
+{
+    if (interval == 0)
+        return -1;
+    thread(id);  // validate
+    IntervalTimer timer;
+    timer.thread = id;
+    timer.signo = signo;
+    int timer_id = static_cast<int>(intervalTimers_.size());
+    timer.event = std::make_unique<PeriodicEvent>(
+        sim_.queue(), interval, [this, id, signo] {
+            Thread &t = thread(id);
+            if (t.running) {
+                if (t.handler)
+                    t.handler(signo);
+                ++signalsDelivered_;
+            } else {
+                // SIGALRM semantics: firings while descheduled
+                // collapse into one pending signal.
+                t.pendingSignal = true;
+                t.pendingSigno = signo;
+            }
+            return true;
+        });
+    timer.event->startAfterPeriod();
+    intervalTimers_.push_back(std::move(timer));
+    return timer_id;
+}
+
+void
+Kernel::cancelInterval(int timer_id)
+{
+    if (timer_id < 0 ||
+        static_cast<std::size_t>(timer_id) >= intervalTimers_.size())
+        return;
+    IntervalTimer &t = intervalTimers_[
+        static_cast<std::size_t>(timer_id)];
+    if (t.event)
+        t.event->stop();
+}
+
+unsigned
+Kernel::pendingReposts(ThreadId id) const
+{
+    const Thread &t = thread(id);
+    unsigned n = 0;
+    if (t.hasUpid) {
+        std::uint64_t pir = t.upid.pir();
+        for (unsigned v = 0; v < kNumUserVectors; ++v)
+            n += (pir >> v) & 1;
+    }
+    n += t.dupid.pending().count();
+    return n;
+}
+
+} // namespace xui

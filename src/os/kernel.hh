@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Kernel model for the DES tier.
+ *
+ * Implements the protocol surface the paper's mechanisms need from
+ * the OS, with faithful state machines over the architectural
+ * structures in src/intr:
+ *  - UIPI registration (register_handler / register_sender), the SN
+ *    bit on context switch, and slow-path reposting when a thread
+ *    resumes (§3.2);
+ *  - KB-timer access control and save/restore multiplexing across
+ *    context switches, including missed-deadline delivery on resume
+ *    (§4.3);
+ *  - interrupt-forwarding registration, the per-thread
+ *    forwarded_active mask written on context switch, and DUPID
+ *    slow-path parking (§4.5);
+ *  - signal delivery and timer syscalls as calibrated costs.
+ *
+ * The kernel does not execute code; it mutates state and reports the
+ * cycle cost of each operation so callers (runtime, benches) can
+ * account for time on the right core.
+ */
+
+#ifndef XUI_OS_KERNEL_HH
+#define XUI_OS_KERNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "des/simulation.hh"
+#include "intr/forwarding.hh"
+#include "intr/kb_timer.hh"
+#include "intr/uitt.hh"
+#include "intr/upid.hh"
+#include "os/cost_model.hh"
+
+namespace xui
+{
+
+/** Kernel thread identifier. */
+using ThreadId = std::uint32_t;
+
+/** Core identifier in the DES tier. */
+using CoreId = std::uint32_t;
+
+constexpr ThreadId kNoThread = 0xffffffff;
+
+/** How a user interrupt reached (or failed to reach) its target. */
+enum class DeliveryPath : std::uint8_t
+{
+    /** Receiver was running: delivered directly to user code. */
+    Fast,
+    /** Receiver descheduled: parked for delivery at next resume. */
+    Deferred,
+    /** Sender-side suppressed (SN): posted, no IPI sent. */
+    Suppressed,
+};
+
+/** The kernel. */
+class Kernel
+{
+  public:
+    /**
+     * @param sim owning simulation (for timestamps)
+     * @param costs calibrated cost table
+     * @param num_cores number of physical cores
+     */
+    Kernel(Simulation &sim, const CostModel &costs,
+           unsigned num_cores);
+
+    const CostModel &costs() const { return costs_; }
+    unsigned numCores() const { return cores_.size(); }
+
+    // ----- threads and scheduling ------------------------------------
+
+    /** Create a kernel thread (descheduled). */
+    ThreadId createThread();
+
+    /** The thread currently running on a core (kNoThread if idle). */
+    ThreadId runningOn(CoreId core) const;
+
+    /**
+     * Context switch `thread` onto `core` (descheduling whatever ran
+     * there). Applies the full protocol: SN-bit management, KB-timer
+     * save/restore, forwarded_active update, and reposting of any
+     * user interrupts that arrived while the thread was out.
+     * @return the cycle cost of the switch (including any reposts).
+     */
+    Cycles scheduleOn(ThreadId thread, CoreId core);
+
+    /** Deschedule a thread (sets SN, saves timer state). */
+    Cycles deschedule(ThreadId thread);
+
+    /** True when the thread is running on some core. */
+    bool isRunning(ThreadId thread) const;
+
+    // ----- UIPI -------------------------------------------------------
+
+    /**
+     * register_handler(): allocate a UPID for the thread and
+     * associate its user handler.
+     */
+    void registerHandler(ThreadId thread,
+                         std::function<void(unsigned uv)> handler);
+
+    /**
+     * register_sender(): allocate a UITT entry routing to `target`.
+     * @return the UITT index for senduipi.
+     */
+    int registerSender(ThreadId target, std::uint8_t user_vector);
+
+    /**
+     * senduipi: post through the UITT/UPID protocol. When the target
+     * thread is running, its handler is invoked (fast path); when
+     * descheduled, the vector is left posted and will be redelivered
+     * by scheduleOn (slow path); when SN is set, no IPI is emitted.
+     */
+    DeliveryPath senduipi(int uitt_index);
+
+    // ----- KB timer (§4.3) ---------------------------------------------
+
+    /** enable_kb_timer(): grant the thread timer access. */
+    void enableKbTimer(ThreadId thread, std::uint8_t vector);
+
+    /** disable_kb_timer(). */
+    void disableKbTimer(ThreadId thread);
+
+    /**
+     * set_timer executed by the running thread.
+     * @return false when the thread has no timer access.
+     */
+    bool setTimer(ThreadId thread, Cycles cycles, KbTimerMode mode);
+
+    /** clear_timer executed by the running thread. */
+    void clearTimer(ThreadId thread);
+
+    /** The core's physical KB timer (tests / wiring). */
+    KbTimer &coreTimer(CoreId core);
+
+    /**
+     * Check whether the running thread's timer on `core` expired by
+     * `now`; if so acknowledge and invoke the thread's handler.
+     * @return true when an interrupt fired.
+     */
+    bool pollKbTimer(CoreId core, Cycles now);
+
+    // ----- interrupt forwarding (§4.5) -----------------------------------
+
+    /**
+     * Register the running thread to receive device interrupts on a
+     * vector of this core.
+     * @return the assigned vector, or -1 when exhausted.
+     */
+    int registerForwarding(ThreadId thread, CoreId core);
+
+    /**
+     * A device interrupt arrives at `core`. Fast path invokes the
+     * owning thread's handler; slow path parks in the DUPID.
+     */
+    DeliveryPath deviceInterrupt(CoreId core, unsigned vector);
+
+    /** The owner thread of a forwarded vector (kNoThread if none). */
+    ThreadId forwardOwner(CoreId core, unsigned vector) const;
+
+    // ----- classic services ----------------------------------------------
+
+    /** Cost of delivering a POSIX signal to a running thread. */
+    Cycles signalDeliveryCost() const { return costs_.signalReceive; }
+
+    /**
+     * setitimer(): deliver a periodic signal to `thread` every
+     * `interval` cycles. While the thread is descheduled, firings
+     * collapse into one pending signal delivered at the next resume
+     * (SIGALRM semantics). The signal handler is the same callback
+     * registered via registerHandler, invoked with `signo`.
+     * @return a timer id for cancelInterval, or -1 on error.
+     */
+    int setInterval(ThreadId thread, Cycles interval,
+                    unsigned signo = 14 /* SIGALRM */);
+
+    /** Cancel a setInterval() timer. */
+    void cancelInterval(int timer_id);
+
+    /** Signals delivered so far via interval timers (tests). */
+    std::uint64_t signalsDelivered() const
+    {
+        return signalsDelivered_;
+    }
+
+    /** Per-thread pending-repost count (tests). */
+    unsigned pendingReposts(ThreadId thread) const;
+
+  private:
+    struct Thread
+    {
+        bool exists = false;
+        CoreId core = 0;
+        bool running = false;
+        Upid upid;
+        bool hasUpid = false;
+        std::function<void(unsigned)> handler;
+        KbTimerSave timerSave;
+        bool timerEnabled = false;
+        std::uint8_t timerVector = 0;
+        Bitset256 fwdMask;
+        Dupid dupid;
+        /** Pending (collapsed) interval-timer signal. */
+        bool pendingSignal = false;
+        unsigned pendingSigno = 0;
+    };
+
+    struct Core
+    {
+        ThreadId running = kNoThread;
+        KbTimer timer;
+        ForwardingUnit fwd;
+        std::uint8_t nextFwdVector = 64;  // above the UV space
+    };
+
+    Thread &thread(ThreadId id);
+    const Thread &thread(ThreadId id) const;
+    /** Deliver every vector parked for a thread; returns count. */
+    unsigned drainParked(Thread &t);
+
+    Simulation &sim_;
+    CostModel costs_;
+    /** Deque: UPID pointers stored in the UITT must stay stable. */
+    std::deque<Thread> threads_;
+    std::vector<Core> cores_;
+    Uitt uitt_;
+    /** UPID -> thread back-map for senduipi delivery. */
+    std::unordered_map<const Upid *, ThreadId> upidOwner_;
+
+    struct IntervalTimer
+    {
+        ThreadId thread = kNoThread;
+        unsigned signo = 0;
+        std::unique_ptr<PeriodicEvent> event;
+    };
+    std::vector<IntervalTimer> intervalTimers_;
+    std::uint64_t signalsDelivered_ = 0;
+};
+
+} // namespace xui
+
+#endif // XUI_OS_KERNEL_HH

@@ -1,0 +1,177 @@
+#include "runtime/runtime.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xui
+{
+
+Runtime::Runtime(Simulation &sim, const CostModel &costs,
+                 unsigned num_workers, PreemptMode mode,
+                 Cycles quantum)
+    : sim_(sim), costs_(costs), mode_(mode), quantum_(quantum),
+      workers_(num_workers), rng_(sim.makeRng())
+{
+    assert(num_workers >= 1);
+    assert(mode == PreemptMode::None || quantum > 0);
+}
+
+Cycles
+Runtime::receiveCost() const
+{
+    switch (mode_) {
+      case PreemptMode::UipiSwTimer:
+        return costs_.uipiFlushReceive;
+      case PreemptMode::XuiKbTimer:
+        return costs_.kbTimerReceive;
+      case PreemptMode::None:
+        return 0;
+    }
+    return 0;
+}
+
+void
+Runtime::submit(UThread t)
+{
+    t.enqueuedAt = sim_.now();
+    t.remaining = t.totalWork;
+    unsigned w = nextWorker_;
+    nextWorker_ = (nextWorker_ + 1) % workers_.size();
+    workers_[w].queue.push_back(std::move(t));
+    ++inFlight_;
+    if (!workers_[w].busy) {
+        workers_[w].busy = true;
+        sim_.queue().scheduleAfter(0, [this, w] { dispatch(w); });
+        return;
+    }
+    // The target is busy: wake one idle worker so it can steal.
+    for (unsigned i = 0; i < workers_.size(); ++i) {
+        if (!workers_[i].busy) {
+            workers_[i].busy = true;
+            sim_.queue().scheduleAfter(0, [this, i] { dispatch(i); });
+            break;
+        }
+    }
+}
+
+std::uint64_t
+Runtime::completed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &w : workers_)
+        total += w.stats.completed;
+    return total;
+}
+
+bool
+Runtime::trySteal(unsigned w)
+{
+    // Steal half of the largest other queue (Aspen/Caladan style).
+    unsigned victim = w;
+    std::size_t best = 0;
+    for (unsigned i = 0; i < workers_.size(); ++i) {
+        if (i == w)
+            continue;
+        if (workers_[i].queue.size() > best) {
+            best = workers_[i].queue.size();
+            victim = i;
+        }
+    }
+    if (best == 0)
+        return false;
+    std::size_t take = (best + 1) / 2;
+    for (std::size_t i = 0; i < take; ++i) {
+        workers_[w].queue.push_back(
+            std::move(workers_[victim].queue.back()));
+        workers_[victim].queue.pop_back();
+    }
+    ++workers_[w].stats.steals;
+    return true;
+}
+
+void
+Runtime::dispatch(unsigned w)
+{
+    Worker &worker = workers_[w];
+    if (!worker.current) {
+        if (worker.queue.empty() && !trySteal(w)) {
+            worker.busy = false;
+            // Idle cores disarm their timer (set_timer on resume).
+            worker.quantumPhase = 0;
+            return;
+        }
+        worker.current = std::move(worker.queue.front());
+        worker.queue.pop_front();
+        if (worker.current->startedAt == 0)
+            worker.current->startedAt = sim_.now();
+    }
+
+    UThread &t = *worker.current;
+    Cycles slice = t.remaining;
+    if (mode_ != PreemptMode::None) {
+        Cycles until_fire = quantum_ - worker.quantumPhase;
+        slice = std::min(slice, until_fire);
+    }
+    assert(slice > 0);
+    sim_.queue().scheduleAfter(slice,
+                               [this, w, slice] { sliceDone(w, slice); });
+}
+
+void
+Runtime::sliceDone(unsigned w, Cycles slice)
+{
+    Worker &worker = workers_[w];
+    assert(worker.current);
+    UThread &t = *worker.current;
+
+    worker.stats.appCycles += slice;
+    t.remaining -= slice;
+    worker.quantumPhase += slice;
+
+    Cycles overhead = 0;
+    bool fired = false;
+    if (mode_ != PreemptMode::None &&
+        worker.quantumPhase >= quantum_) {
+        // The (KB or software) timer fires: pay the receive cost.
+        worker.quantumPhase = 0;
+        ++worker.stats.timerFires;
+        fired = true;
+        overhead += receiveCost();
+        worker.stats.notifCycles += receiveCost();
+        if (mode_ == PreemptMode::UipiSwTimer)
+            timerCoreBusy_ += costs_.senduipiCost;
+    }
+
+    if (t.remaining == 0) {
+        t.finishedAt = sim_.now();
+        if (t.onComplete)
+            t.onComplete(t);
+        ++worker.stats.completed;
+        --inFlight_;
+        worker.current.reset();
+        if (!worker.queue.empty() || mode_ != PreemptMode::None) {
+            // Scheduler entry to pick the next thread.
+            overhead += costs_.userContextSwitch;
+            worker.stats.switchCycles += costs_.userContextSwitch;
+        }
+    } else if (fired && !worker.queue.empty()) {
+        // Preempt: rotate to the queue tail.
+        ++t.preemptions;
+        ++worker.stats.preemptions;
+        overhead += costs_.userContextSwitch;
+        worker.stats.switchCycles += costs_.userContextSwitch;
+        worker.queue.push_back(std::move(t));
+        worker.current.reset();
+    }
+    // else: keep running the same thread (timer fired with an empty
+    // queue, or mid-quantum completion of the slice).
+
+    if (overhead > 0) {
+        sim_.queue().scheduleAfter(overhead,
+                                   [this, w] { dispatch(w); });
+    } else {
+        dispatch(w);
+    }
+}
+
+} // namespace xui

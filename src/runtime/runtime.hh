@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Aspen-like user-level runtime for the DES tier (paper §5.3).
+ *
+ * Worker kernel-threads are pinned one per core (as the paper
+ * configures Aspen in gem5). Each worker runs uthreads from its run
+ * queue, steals work when idle, and preempts at a quantum using one
+ * of the paper's mechanisms:
+ *  - None: run-to-completion (the head-of-line-blocking baseline);
+ *  - UipiSwTimer: a dedicated timer core sends flush-based UIPIs
+ *    every quantum (the Intel baseline; burns one extra core);
+ *  - XuiKbTimer: each core's own KB timer delivers tracked
+ *    interrupts (no timer core, cheapest receive path).
+ *
+ * Preemption timing follows the hardware: the (virtual) timer fires
+ * every quantum of *busy* time on a core; each firing costs the
+ * mechanism's receive overhead, and rotating to another uthread adds
+ * a user-level context switch.
+ */
+
+#ifndef XUI_RUNTIME_RUNTIME_HH
+#define XUI_RUNTIME_RUNTIME_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "des/simulation.hh"
+#include "os/cost_model.hh"
+#include "runtime/uthread.hh"
+
+namespace xui
+{
+
+/** Preemption mechanism (Fig. 7 configurations). */
+enum class PreemptMode : std::uint8_t
+{
+    None,
+    UipiSwTimer,
+    XuiKbTimer,
+};
+
+/** The user-level runtime. */
+class Runtime
+{
+  public:
+    /** Per-worker cycle accounting. */
+    struct WorkerStats
+    {
+        Cycles appCycles = 0;
+        Cycles notifCycles = 0;
+        Cycles switchCycles = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t preemptions = 0;
+        std::uint64_t timerFires = 0;
+        std::uint64_t steals = 0;
+    };
+
+    /**
+     * @param sim simulation context
+     * @param costs calibrated mechanism costs
+     * @param num_workers worker cores (excludes any timer core)
+     * @param mode preemption mechanism
+     * @param quantum preemption quantum in cycles
+     */
+    Runtime(Simulation &sim, const CostModel &costs,
+            unsigned num_workers, PreemptMode mode, Cycles quantum);
+
+    /** Enqueue a uthread (round-robin placement + wake if idle). */
+    void submit(UThread t);
+
+    /** Uthreads queued or running. */
+    std::uint64_t inFlight() const { return inFlight_; }
+
+    /** Total completions across workers. */
+    std::uint64_t completed() const;
+
+    const WorkerStats &workerStats(unsigned i) const
+    {
+        return workers_[i].stats;
+    }
+
+    unsigned numWorkers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    PreemptMode mode() const { return mode_; }
+    Cycles quantum() const { return quantum_; }
+
+    /**
+     * Timer-core busy cycles implied by this run (UipiSwTimer only):
+     * one senduipi per worker per quantum of wall time while the
+     * runtime had work.
+     */
+    Cycles timerCoreBusy() const { return timerCoreBusy_; }
+
+  private:
+    struct Worker
+    {
+        std::deque<UThread> queue;
+        std::optional<UThread> current;
+        bool busy = false;
+        Cycles quantumPhase = 0;
+        WorkerStats stats;
+    };
+
+    void dispatch(unsigned w);
+    void sliceDone(unsigned w, Cycles slice);
+    bool trySteal(unsigned w);
+    Cycles receiveCost() const;
+
+    Simulation &sim_;
+    CostModel costs_;
+    PreemptMode mode_;
+    Cycles quantum_;
+    std::vector<Worker> workers_;
+    unsigned nextWorker_ = 0;
+    std::uint64_t inFlight_ = 0;
+    Cycles timerCoreBusy_ = 0;
+    Rng rng_;
+};
+
+} // namespace xui
+
+#endif // XUI_RUNTIME_RUNTIME_HH

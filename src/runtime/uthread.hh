@@ -1,0 +1,45 @@
+/**
+ * @file
+ * User-level thread (uthread) descriptor for the runtime model.
+ */
+
+#ifndef XUI_RUNTIME_UTHREAD_HH
+#define XUI_RUNTIME_UTHREAD_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "des/time.hh"
+
+namespace xui
+{
+
+/**
+ * One user-level thread: a unit of work with a service demand,
+ * scheduled and preempted by the Runtime. The DES tier models work
+ * as time; the uthread carries identity and measurement state.
+ */
+struct UThread
+{
+    std::uint64_t id = 0;
+    /** Application tag (e.g.\ GET vs SCAN). */
+    int tag = 0;
+    /** Total service demand in cycles. */
+    Cycles totalWork = 0;
+    /** Remaining service demand. */
+    Cycles remaining = 0;
+    /** Arrival time (latency measurement origin). */
+    Cycles enqueuedAt = 0;
+    /** First time on a core. */
+    Cycles startedAt = 0;
+    /** Completion time (0 while running). */
+    Cycles finishedAt = 0;
+    /** Number of times this thread was preempted. */
+    unsigned preemptions = 0;
+    /** Invoked on the scheduling core at completion. */
+    std::function<void(const UThread &)> onComplete;
+};
+
+} // namespace xui
+
+#endif // XUI_RUNTIME_UTHREAD_HH

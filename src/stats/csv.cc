@@ -1,0 +1,50 @@
+#include "stats/csv.hh"
+
+#include <stdexcept>
+
+namespace xui
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path, std::ios::trunc)
+{
+    if (!out_)
+        throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        out_ << escape(fields[i]);
+        if (i + 1 != fields.size())
+            out_ << ',';
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+} // namespace xui

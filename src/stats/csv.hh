@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Minimal CSV writer so bench output can also be captured for
+ * plotting.
+ */
+
+#ifndef XUI_STATS_CSV_HH
+#define XUI_STATS_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace xui
+{
+
+/** Writes quoted-as-needed CSV rows to a file. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open (truncate) the target file.
+     * @throws std::runtime_error when the file cannot be opened.
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row; fields containing commas/quotes are escaped. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Flush and close; also done by the destructor. */
+    void close();
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ofstream out_;
+};
+
+} // namespace xui
+
+#endif // XUI_STATS_CSV_HH

@@ -1,0 +1,103 @@
+#include "stats/distributions.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace xui
+{
+
+double
+ExponentialDist::sample(Rng &rng) const
+{
+    // Inverse transform; 1 - u avoids log(0).
+    double u = 1.0 - rng.nextDouble();
+    return -mean_ * std::log(u);
+}
+
+double
+NormalDist::sample(Rng &rng) const
+{
+    // Marsaglia polar method (one value per call; the second root is
+    // discarded to keep the stream position deterministic per call).
+    while (true) {
+        double u = 2.0 * rng.nextDouble() - 1.0;
+        double v = 2.0 * rng.nextDouble() - 1.0;
+        double s = u * u + v * v;
+        if (s > 0.0 && s < 1.0) {
+            double factor = std::sqrt(-2.0 * std::log(s) / s);
+            return mean_ + stddev_ * u * factor;
+        }
+    }
+}
+
+double
+NormalDist::sampleNonNegative(Rng &rng) const
+{
+    double x = sample(rng);
+    return x < 0.0 ? 0.0 : x;
+}
+
+double
+UniformDist::sample(Rng &rng) const
+{
+    return lo_ + (hi_ - lo_) * rng.nextDouble();
+}
+
+double
+BimodalDist::sample(Rng &rng, bool *was_a) const
+{
+    bool a = rng.nextBool(pA_);
+    if (was_a)
+        *was_a = a;
+    return a ? valueA_ : valueB_;
+}
+
+PoissonProcess::PoissonProcess(double rate_per_cycle, Rng rng)
+    : rate_(rate_per_cycle), nextTime_(0.0), rng_(rng)
+{
+    assert(rate_per_cycle > 0.0);
+}
+
+std::uint64_t
+PoissonProcess::nextArrival()
+{
+    double u = 1.0 - rng_.nextDouble();
+    nextTime_ += -std::log(u) / rate_;
+    return static_cast<std::uint64_t>(nextTime_);
+}
+
+void
+PoissonProcess::setRate(double rate_per_cycle)
+{
+    assert(rate_per_cycle > 0.0);
+    rate_ = rate_per_cycle;
+}
+
+DiscreteDist::DiscreteDist(std::vector<Entry> entries)
+    : entries_(std::move(entries))
+{
+    assert(!entries_.empty());
+    double total = 0.0;
+    cumulative_.reserve(entries_.size());
+    for (const auto &e : entries_) {
+        assert(e.weight >= 0.0);
+        total += e.weight;
+        cumulative_.push_back(total);
+    }
+    assert(total > 0.0);
+    for (auto &c : cumulative_)
+        c /= total;
+}
+
+double
+DiscreteDist::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+        if (u < cumulative_[i])
+            return entries_[i].value;
+    }
+    return entries_.back().value;
+}
+
+} // namespace xui

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Reproducible probability distributions used by the workload
+ * generators and device models.
+ *
+ * The standard library's distributions are implementation-defined, so
+ * results would differ across toolchains; these are pinned algorithms
+ * (inverse-transform exponential, Marsaglia polar normal, Knuth
+ * Poisson) that produce identical streams everywhere.
+ */
+
+#ifndef XUI_STATS_DISTRIBUTIONS_HH
+#define XUI_STATS_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace xui
+{
+
+/** Exponential distribution with the given mean (inverse rate). */
+class ExponentialDist
+{
+  public:
+    explicit ExponentialDist(double mean) : mean_(mean) {}
+
+    /** Draw one value; always >= 0. */
+    double sample(Rng &rng) const;
+
+    double mean() const { return mean_; }
+
+  private:
+    double mean_;
+};
+
+/**
+ * Normal distribution (Marsaglia polar method), optionally truncated
+ * at zero for use as a latency jitter source.
+ */
+class NormalDist
+{
+  public:
+    NormalDist(double mean, double stddev)
+        : mean_(mean), stddev_(stddev)
+    {}
+
+    double sample(Rng &rng) const;
+
+    /** Sample and clamp to >= 0 (latencies cannot be negative). */
+    double sampleNonNegative(Rng &rng) const;
+
+  private:
+    double mean_;
+    double stddev_;
+};
+
+/** Uniform distribution on [lo, hi). */
+class UniformDist
+{
+  public:
+    UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+    double sample(Rng &rng) const;
+
+  private:
+    double lo_;
+    double hi_;
+};
+
+/**
+ * Two-point service-time mixture, e.g.\ the paper's RocksDB workload:
+ * 99.5% GET at 1.2us and 0.5% SCAN at 580us.
+ */
+class BimodalDist
+{
+  public:
+    /**
+     * @param p_a probability of drawing value_a
+     * @param value_a the common (fast) value
+     * @param value_b the rare (slow) value
+     */
+    BimodalDist(double p_a, double value_a, double value_b)
+        : pA_(p_a), valueA_(value_a), valueB_(value_b)
+    {}
+
+    /** Draw a value; also reports which mode was selected. */
+    double sample(Rng &rng, bool *was_a = nullptr) const;
+
+    double mean() const
+    {
+        return pA_ * valueA_ + (1.0 - pA_) * valueB_;
+    }
+
+  private:
+    double pA_;
+    double valueA_;
+    double valueB_;
+};
+
+/**
+ * Open-loop Poisson arrival process: exponential inter-arrival times
+ * at a configurable rate, yielding absolute arrival timestamps.
+ */
+class PoissonProcess
+{
+  public:
+    /**
+     * @param rate_per_cycle mean arrivals per cycle
+     * @param rng private generator for this process
+     */
+    PoissonProcess(double rate_per_cycle, Rng rng);
+
+    /** Absolute time (cycles) of the next arrival. */
+    std::uint64_t nextArrival();
+
+    /** Change the rate; takes effect from the next arrival. */
+    void setRate(double rate_per_cycle);
+
+    double rate() const { return rate_; }
+
+  private:
+    double rate_;
+    double nextTime_;
+    Rng rng_;
+};
+
+/**
+ * Empirical distribution over explicit (value, weight) pairs; used by
+ * the accelerator model for configurable offload-latency mixes.
+ */
+class DiscreteDist
+{
+  public:
+    struct Entry
+    {
+        double value;
+        double weight;
+    };
+
+    explicit DiscreteDist(std::vector<Entry> entries);
+
+    double sample(Rng &rng) const;
+
+  private:
+    std::vector<Entry> entries_;
+    std::vector<double> cumulative_;
+};
+
+} // namespace xui
+
+#endif // XUI_STATS_DISTRIBUTIONS_HH

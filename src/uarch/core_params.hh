@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Core configuration — defaults reproduce the paper's Table 3
+ * baseline (modeling an Intel Xeon Gold 5420+ Sapphire Rapids core at
+ * 2.0 GHz).
+ */
+
+#ifndef XUI_UARCH_CORE_PARAMS_HH
+#define XUI_UARCH_CORE_PARAMS_HH
+
+#include "uarch/cache.hh"
+#include "uarch/mcrom.hh"
+
+namespace xui
+{
+
+/** Interrupt-delivery strategies the core can use (§3.5, §4.2). */
+enum class DeliveryStrategy : std::uint8_t
+{
+    /** Squash all in-flight work, then run the handler (Intel). */
+    Flush,
+    /** Retire all in-flight work first, then run the handler. */
+    Drain,
+    /** xUI: inject handler micro-ops at fetch; never discard work. */
+    Tracked,
+};
+
+/** Functional-unit and latency configuration. */
+struct ExecParams
+{
+    unsigned intAluUnits = 6;   ///< Table 3: Int ALU(6)
+    unsigned intMultUnits = 2;  ///< Table 3: Mult(2)
+    unsigned fpUnits = 3;       ///< Table 3: FPALU/Mult(3)
+    unsigned loadPorts = 2;
+    unsigned storePorts = 1;
+
+    unsigned intAluLatency = 1;
+    unsigned intMultLatency = 3;
+    unsigned fpAluLatency = 3;
+    unsigned fpMultLatency = 4;
+    unsigned branchLatency = 1;
+    unsigned rdtscLatency = 18;
+    unsigned storeLatency = 1;
+    unsigned nopLatency = 1;
+    unsigned mcodeLatency = 1;
+};
+
+/** Full core configuration (Table 3 defaults). */
+struct CoreParams
+{
+    unsigned fetchWidth = 6;    ///< Table 3: Fetch Width 6 uops
+    unsigned decodeWidth = 6;   ///< Table 3: Decode Width 6 uops
+    unsigned issueWidth = 10;   ///< Table 3: Issue Width 10 uops
+    unsigned retireWidth = 10;  ///< Table 3: Retire Width 10 uops
+    unsigned squashWidth = 10;  ///< Table 3: Squash Width 10 uops
+    unsigned robSize = 384;     ///< Table 3: ROB Size 384 entries
+    unsigned iqSize = 168;      ///< Table 3: IQ 168 entries
+    unsigned lqSize = 128;      ///< Table 3: LQ Size 128 entries
+    unsigned sqSize = 72;       ///< Table 3: SQ Size 72 entries
+
+    /** Fetch-to-dispatch pipeline depth (refill cost of redirects). */
+    unsigned frontendDepth = 10;
+
+    /** Extra fetch bubble on a predicted-taken branch (BTB hit). */
+    unsigned takenBranchBubble = 1;
+
+    ExecParams exec;
+    MemHierarchyParams mem;
+    McodeParams mcode;
+
+    DeliveryStrategy strategy = DeliveryStrategy::Flush;
+    /** Hardware safepoint mode (§4.4): deliver only at safepoints. */
+    bool safepointMode = false;
+
+    unsigned predictorTableBits = 14;
+    unsigned predictorHistoryBits = 12;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_CORE_PARAMS_HH

@@ -1,0 +1,75 @@
+#include "uarch/interrupt_unit.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+void
+InterruptUnit::raise(IntrSource source, std::uint8_t vector,
+                     Cycles now)
+{
+    pending_.push_back(PendingIntr{source, vector, now});
+}
+
+bool
+InterruptUnit::canAccept() const
+{
+    return uif_ && state_ == TrackerState::Idle && !pending_.empty();
+}
+
+PendingIntr
+InterruptUnit::accept()
+{
+    assert(canAccept());
+    current_ = pending_.front();
+    pending_.pop_front();
+    state_ = TrackerState::Pending;
+    return current_;
+}
+
+bool
+InterruptUnit::shouldInject(bool at_safepoint,
+                            bool safepoint_mode) const
+{
+    if (state_ != TrackerState::Pending)
+        return false;
+    if (safepoint_mode && !at_safepoint)
+        return false;
+    return true;
+}
+
+void
+InterruptUnit::onInjected()
+{
+    assert(state_ == TrackerState::Pending);
+    state_ = TrackerState::Injected;
+}
+
+bool
+InterruptUnit::onSquash(bool killed_intr_uops)
+{
+    if (state_ == TrackerState::Injected && killed_intr_uops) {
+        // Paper §4.2: the interrupt processing microcode remains the
+        // default misspeculation recovery path until its first
+        // micro-op commits.
+        state_ = TrackerState::Pending;
+        return true;
+    }
+    return false;
+}
+
+void
+InterruptUnit::onFirstIntrCommit()
+{
+    if (state_ == TrackerState::Injected)
+        state_ = TrackerState::Committed;
+}
+
+void
+InterruptUnit::onHandlerReturn()
+{
+    state_ = TrackerState::Idle;
+}
+
+} // namespace xui

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Receiver-side interrupt state: the APIC inbox, the user interrupt
+ * flag, and the tracked-interrupt state machine (paper §4.2 Fig. 3).
+ *
+ * This class holds pure control state; the OooCore drives it from the
+ * pipeline loop. Keeping the FSM separate makes the re-injection
+ * rules (squash while uncommitted -> re-inject with the new next_pc)
+ * unit-testable in isolation.
+ */
+
+#ifndef XUI_UARCH_INTERRUPT_UNIT_HH
+#define XUI_UARCH_INTERRUPT_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "des/time.hh"
+
+namespace xui
+{
+
+/** Where an accepted user interrupt came from. */
+enum class IntrSource : std::uint8_t
+{
+    UserIpi,    ///< UIPI: notification + delivery microcode
+    KbTimer,    ///< xUI KB timer: delivery microcode only
+    Forwarded,  ///< xUI forwarded device interrupt: delivery only
+};
+
+/** One pending user interrupt awaiting delivery. */
+struct PendingIntr
+{
+    IntrSource source;
+    std::uint8_t vector;
+    Cycles raisedAt;
+};
+
+/** Tracked-interrupt front-end state machine (paper Fig. 3). */
+enum class TrackerState : std::uint8_t
+{
+    /** No interrupt in progress. */
+    Idle,
+    /** Accepted; waiting for an instruction/safepoint boundary. */
+    Pending,
+    /** Microcode is being injected / is in flight, not committed. */
+    Injected,
+    /** First interrupt micro-op committed; no re-injection needed. */
+    Committed,
+};
+
+/**
+ * Per-core interrupt unit: pending queue, UIF, tracker FSM and the
+ * bookkeeping needed for delivery-latency measurement.
+ */
+class InterruptUnit
+{
+  public:
+    /** Raise (post) an interrupt toward this core. */
+    void raise(IntrSource source, std::uint8_t vector, Cycles now);
+
+    /** True when an interrupt could be accepted this cycle. */
+    bool canAccept() const;
+
+    /**
+     * Accept the oldest pending interrupt: the tracker moves to
+     * Pending and delivery begins per the configured strategy.
+     * @pre canAccept()
+     */
+    PendingIntr accept();
+
+    /** The interrupt currently being delivered. */
+    const PendingIntr &current() const { return current_; }
+
+    bool pendingAvailable() const { return !pending_.empty(); }
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    TrackerState state() const { return state_; }
+    bool busy() const { return state_ != TrackerState::Idle; }
+
+    /** UIF: user interrupt delivery enabled? (stui/clui/uiret). */
+    bool uif() const { return uif_; }
+    void setUif(bool v) { uif_ = v; }
+
+    /**
+     * Front-end asks: should microcode be injected at this
+     * instruction boundary?
+     * @param at_safepoint the next instruction is safepoint-marked
+     * @param safepoint_mode the core's safepoint mode flag
+     */
+    bool shouldInject(bool at_safepoint, bool safepoint_mode) const;
+
+    /** The front-end began streaming the microcode. */
+    void onInjected();
+
+    /**
+     * A squash killed micro-ops. If the interrupt path has not yet
+     * committed its first micro-op, delivery must be re-injected at
+     * the post-recovery PC.
+     * @param killed_intr_uops at least one in-flight interrupt-path
+     *        micro-op was squashed
+     * @return true when the front-end must re-inject
+     */
+    bool onSquash(bool killed_intr_uops);
+
+    /** First interrupt-path micro-op committed. */
+    void onFirstIntrCommit();
+
+    /** uiret committed: delivery is complete. */
+    void onHandlerReturn();
+
+  private:
+    std::deque<PendingIntr> pending_;
+    PendingIntr current_{};
+    TrackerState state_ = TrackerState::Idle;
+    bool uif_ = true;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_INTERRUPT_UNIT_HH

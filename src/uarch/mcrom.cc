@@ -1,0 +1,266 @@
+#include "uarch/mcrom.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+namespace
+{
+
+MicroOp
+overheadUop()
+{
+    MicroOp u;
+    u.cls = OpClass::McodeOverhead;
+    return u;
+}
+
+} // namespace
+
+Mcrom::Mcrom(const McodeParams &params)
+    : params_(params)
+{
+    // ----- senduipi --------------------------------------------------
+    // Structure per §3.3 step 1-2: UITT lookup (load), UPID
+    // read-modify-write (remote line: the receiver core owned it),
+    // ICR MSR write (serializing), padded with sequencing overhead
+    // uops to reach the measured MSROM uop count.
+    {
+        assert(params_.senduipiUops >= 6);
+        MicroOp uitt;
+        uitt.cls = OpClass::MemRead;
+        uitt.dest = reg::kUtmp0;
+        uitt.mem = MemMode::Local;
+        uitt.addr = kUittBase;
+        uitt.effect = McodeEffect::ReadUitt;
+        senduipi_.push_back(uitt);
+
+        MicroOp upid_read;
+        upid_read.cls = OpClass::MemRead;
+        upid_read.dest = reg::kUtmp0 + 1;
+        upid_read.src1 = reg::kUtmp0;
+        upid_read.mem = MemMode::Remote;
+        upid_read.addr = kUpidBase;
+        senduipi_.push_back(upid_read);
+
+        MicroOp upid_write;
+        upid_write.cls = OpClass::MemWrite;
+        upid_write.src1 = reg::kUtmp0 + 1;
+        upid_write.mem = MemMode::Local;
+        upid_write.addr = kUpidBase;
+        upid_write.effect = McodeEffect::PostUpid;
+        senduipi_.push_back(upid_write);
+
+        unsigned pad = params_.senduipiUops - 4;
+        for (unsigned i = 0; i < pad; ++i)
+            senduipi_.push_back(overheadUop());
+
+        MicroOp icr;
+        icr.cls = OpClass::SerializeMsr;
+        icr.src1 = reg::kUtmp0 + 1;
+        icr.fixedLatency =
+            static_cast<std::uint16_t>(params_.icrWriteLatency);
+        icr.effect = McodeEffect::WriteIcr;
+        icr.eom = true;
+        senduipi_.push_back(icr);
+    }
+
+    // The receiver-side routines are built as serial dependency
+    // chains (each micro-op consumes its predecessor's destination):
+    // microcode sequencing is not superscalar on real hardware, and
+    // the routine's *execution* time is what gates the program-fetch
+    // resume (the uiret target is data-dependent), which is how the
+    // paper's measured 105/231-cycle receiver costs arise.
+    const std::uint8_t chain_a = reg::kUtmp0 + 2;
+    const std::uint8_t chain_b = reg::kUtmp0 + 3;
+
+    // ----- notification processing (§3.3 step 4) ---------------------
+    // Reads the current thread's UPID (remote: the sender just wrote
+    // it), transfers PIR to UIRR, clears ON.
+    {
+        assert(params_.notifyUops >= 4);
+        MicroOp upid_read;
+        upid_read.cls = OpClass::MemRead;
+        upid_read.dest = chain_a;
+        upid_read.mem = MemMode::Remote;
+        upid_read.addr = kUpidBase;
+        upid_read.fromIntrPath = true;
+        notify_.push_back(upid_read);
+
+        MicroOp to_uirr;
+        to_uirr.cls = OpClass::IntAlu;
+        to_uirr.dest = chain_b;
+        to_uirr.src1 = chain_a;
+        to_uirr.effect = McodeEffect::ReadUpidToUirr;
+        to_uirr.fromIntrPath = true;
+        notify_.push_back(to_uirr);
+
+        MicroOp clear_on;
+        clear_on.cls = OpClass::MemWrite;
+        clear_on.src1 = chain_b;
+        clear_on.mem = MemMode::Local;
+        clear_on.addr = kUpidBase;
+        clear_on.fromIntrPath = true;
+        notify_.push_back(clear_on);
+
+        unsigned pad = params_.notifyUops - 3;
+        std::uint8_t prev = chain_b;
+        for (unsigned i = 0; i < pad; ++i) {
+            MicroOp u = overheadUop();
+            u.fromIntrPath = true;
+            u.src1 = prev;
+            u.dest = (prev == chain_a) ? chain_b : chain_a;
+            prev = u.dest;
+            notify_.push_back(u);
+        }
+    }
+
+    // ----- user interrupt delivery (§3.3 step 5) ----------------------
+    // Pushes SP, PC and the vector onto the user stack (the SP read
+    // is a real register source -> the §6.1 pathological dependence),
+    // clears UIF, updates UIRR, jumps to the handler. The jump is the
+    // chain tail: program fetch resumes at the handler only once the
+    // routine has executed.
+    {
+        assert(params_.deliveryUops >= 7);
+        MicroOp first = overheadUop();
+        first.fromIntrPath = true;
+        first.dest = chain_a;
+        // Serialize behind the notification routine when one ran
+        // (its chain registers are the sources); for KB-timer /
+        // forwarded delivery these registers are long since ready.
+        first.src1 = chain_a;
+        first.src2 = chain_b;
+        first.fixedLatency = static_cast<std::uint16_t>(
+            params_.deliveryOverheadLatency);
+        delivery_.push_back(first);
+
+        std::uint8_t prev = chain_a;
+        for (unsigned i = 0; i < 3; ++i) {
+            MicroOp push;
+            push.cls = OpClass::MemWrite;
+            push.src1 = reg::kSp;   // depends on the program's SP
+            push.src2 = prev;
+            push.mem = MemMode::Local;
+            push.addr = kStackBase + 8 * i;
+            push.fromIntrPath = true;
+            delivery_.push_back(push);
+        }
+
+        MicroOp clr_uif;
+        clr_uif.cls = OpClass::IntAlu;
+        clr_uif.src1 = prev;
+        // Delivery cannot complete before the frame is saved; the
+        // saved SP gates the rest of the routine (this is what makes
+        // the §6.1 SP-feeding chain pathological).
+        clr_uif.src2 = reg::kSp;
+        clr_uif.dest = chain_b;
+        clr_uif.effect = McodeEffect::ClearUif;
+        clr_uif.fromIntrPath = true;
+        delivery_.push_back(clr_uif);
+        prev = chain_b;
+
+        unsigned pad = params_.deliveryUops - 6;
+        for (unsigned i = 0; i < pad; ++i) {
+            MicroOp u = overheadUop();
+            u.fromIntrPath = true;
+            u.src1 = prev;
+            u.dest = (prev == chain_a) ? chain_b : chain_a;
+            prev = u.dest;
+            delivery_.push_back(u);
+        }
+
+        MicroOp jump;
+        jump.cls = OpClass::Branch;
+        jump.src1 = prev;
+        jump.effect = McodeEffect::JumpHandler;
+        jump.fromIntrPath = true;
+        jump.eom = true;
+        delivery_.push_back(jump);
+    }
+
+    // ----- uiret -------------------------------------------------------
+    // Pops the saved SP/PC; the return target is data-dependent, so
+    // the final redirect fires at execute, serialized behind the
+    // pops.
+    {
+        assert(params_.uiretUops >= 4);
+        std::uint8_t prev = reg::kNone;
+        for (unsigned i = 0; i < 2; ++i) {
+            MicroOp pop;
+            pop.cls = OpClass::MemRead;
+            pop.dest = i == 0 ? chain_a : chain_b;
+            pop.src1 = prev;
+            pop.mem = MemMode::Local;
+            pop.addr = kStackBase + 8 * i;
+            uiret_.push_back(pop);
+            prev = pop.dest;
+        }
+        MicroOp set_uif;
+        set_uif.cls = OpClass::IntAlu;
+        set_uif.src1 = prev;
+        set_uif.dest = chain_a;
+        set_uif.effect = McodeEffect::SetUif;
+        uiret_.push_back(set_uif);
+        prev = chain_a;
+
+        unsigned pad = params_.uiretUops - 4;
+        for (unsigned i = 0; i < pad; ++i) {
+            MicroOp u = overheadUop();
+            u.src1 = prev;
+            u.dest = (prev == chain_a) ? chain_b : chain_a;
+            prev = u.dest;
+            uiret_.push_back(u);
+        }
+
+        MicroOp ret;
+        ret.cls = OpClass::Branch;
+        ret.src1 = prev;
+        ret.effect = McodeEffect::ReturnFromHandler;
+        ret.eom = true;
+        uiret_.push_back(ret);
+    }
+
+    // ----- clui / stui --------------------------------------------------
+    {
+        MicroOp u;
+        u.cls = OpClass::IntAlu;
+        u.effect = McodeEffect::ClearUif;
+        u.fixedLatency =
+            static_cast<std::uint16_t>(params_.cluiLatency);
+        u.eom = true;
+        clui_.push_back(u);
+    }
+    {
+        MicroOp u;
+        u.cls = OpClass::SerializeMsr;
+        u.effect = McodeEffect::SetUif;
+        u.fixedLatency =
+            static_cast<std::uint16_t>(params_.stuiLatency);
+        u.eom = true;
+        stui_.push_back(u);
+    }
+
+    // ----- set_timer / clear_timer (xUI, §4.3) --------------------------
+    {
+        MicroOp u;
+        u.cls = OpClass::IntAlu;
+        u.effect = McodeEffect::SetTimerArm;
+        u.fixedLatency =
+            static_cast<std::uint16_t>(params_.timerProgramLatency);
+        u.eom = true;
+        setTimer_.push_back(u);
+    }
+    {
+        MicroOp u;
+        u.cls = OpClass::IntAlu;
+        u.effect = McodeEffect::ClearTimerArm;
+        u.fixedLatency =
+            static_cast<std::uint16_t>(params_.timerProgramLatency);
+        u.eom = true;
+        clearTimer_.push_back(u);
+    }
+}
+
+} // namespace xui

@@ -1,0 +1,942 @@
+#include "uarch/ooo_core.hh"
+
+#include <cassert>
+
+#include "uarch/uarch_system.hh"
+
+namespace xui
+{
+
+OooCore::OooCore(unsigned id, const CoreParams &params,
+                 const Program *program, Rng rng)
+    : id_(id),
+      params_(params),
+      program_(program),
+      rng_(rng),
+      mcrom_(params.mcode),
+      mem_(params.mem),
+      predictor_(params.predictorTableBits,
+                 params.predictorHistoryBits),
+      fetchPc_(program->entry()),
+      resumePc_(program->entry()),
+      lastCommittedNextPc_(program->entry()),
+      renameTable_(reg::kCount, 0),
+      execCount_(program->size(), 0),
+      ringSeq_(kRingSize, 0),
+      ringReadyAt_(kRingSize, 0)
+{
+    assert(program != nullptr);
+    iqList_.reserve(512);
+}
+
+bool
+OooCore::halted() const
+{
+    return fetchHalted_ && rob_.empty() && fetchBuffer_.empty();
+}
+
+void
+OooCore::receiveIpi(std::uint8_t vector, Cycles when)
+{
+    ipiInbox_.push_back(IpiArrival{vector, when});
+}
+
+void
+OooCore::deviceInterrupt(std::uint8_t vector)
+{
+    ForwardOutcome outcome = forwarding_.onInterrupt(vector);
+    switch (outcome) {
+      case ForwardOutcome::FastPath:
+        intr_.raise(IntrSource::Forwarded, vector, cycle_);
+        ++stats_.interruptsRaised;
+        break;
+      case ForwardOutcome::SlowPath:
+        dupid_.post(vector);
+        ++stats_.slowPathForwards;
+        break;
+      case ForwardOutcome::NotForwarded:
+        // Conventional kernel interrupt; outside this tier's scope.
+        break;
+    }
+}
+
+unsigned
+OooCore::fuPoolOf(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntMult:
+        return 1;
+      case OpClass::FpAlu:
+      case OpClass::FpMult:
+        return 2;
+      case OpClass::MemRead:
+        return 3;
+      case OpClass::MemWrite:
+        return 4;
+      default:
+        return 0;
+    }
+}
+
+unsigned
+OooCore::classLatency(const MicroOp &uop) const
+{
+    if (uop.fixedLatency)
+        return uop.fixedLatency;
+    const ExecParams &e = params_.exec;
+    switch (uop.cls) {
+      case OpClass::IntAlu:
+        return e.intAluLatency;
+      case OpClass::IntMult:
+        return e.intMultLatency;
+      case OpClass::FpAlu:
+        return e.fpAluLatency;
+      case OpClass::FpMult:
+        return e.fpMultLatency;
+      case OpClass::Branch:
+        return e.branchLatency;
+      case OpClass::Rdtsc:
+        return e.rdtscLatency;
+      case OpClass::MemWrite:
+        return e.storeLatency;
+      case OpClass::Nop:
+        return e.nopLatency;
+      case OpClass::McodeOverhead:
+        return e.mcodeLatency;
+      case OpClass::SerializeMsr:
+        return 1;
+      case OpClass::MemRead:
+        return 1;  // actual latency computed at issue
+    }
+    return 1;
+}
+
+void
+OooCore::tick()
+{
+    ++cycle_;
+    ++stats_.cycles;
+
+    // Refill per-cycle functional-unit tokens.
+    fuTokens_[0] = params_.exec.intAluUnits;
+    fuTokens_[1] = params_.exec.intMultUnits;
+    fuTokens_[2] = params_.exec.fpUnits;
+    fuTokens_[3] = params_.exec.loadPorts;
+    fuTokens_[4] = params_.exec.storePorts;
+
+    // Interrupt arrivals at the local APIC.
+    while (!ipiInbox_.empty() && ipiInbox_.front().when <= cycle_) {
+        IpiArrival a = ipiInbox_.front();
+        ipiInbox_.pop_front();
+        if (a.vector == uinv_) {
+            intr_.raise(IntrSource::UserIpi, a.vector, cycle_);
+            ++stats_.interruptsRaised;
+        } else {
+            deviceInterrupt(a.vector);
+        }
+    }
+
+    // KB timer expiry (one pending firing at a time, like an IRR
+    // bit: repeated expirations collapse).
+    if (kbTimer_.expired(cycle_)) {
+        bool already = false;
+        if (intr_.busy() &&
+            intr_.current().source == IntrSource::KbTimer)
+            already = true;
+        kbTimer_.acknowledge();
+        if (!already) {
+            intr_.raise(IntrSource::KbTimer, kbTimer_.vector(),
+                        cycle_);
+            ++stats_.interruptsRaised;
+        }
+    }
+
+    commitStage();
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    checkInterruptAccept();
+    fetchStage();
+}
+
+void
+OooCore::runCycles(Cycles n)
+{
+    Cycles end = cycle_ + n;
+    while (cycle_ < end)
+        tick();
+}
+
+Cycles
+OooCore::runUntilCommitted(std::uint64_t insts, Cycles max_cycles)
+{
+    Cycles start = cycle_;
+    std::uint64_t target = stats_.committedInsts + insts;
+    while (stats_.committedInsts < target &&
+           cycle_ - start < max_cycles && !halted())
+        tick();
+    return cycle_ - start;
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+OooCore::commitStage()
+{
+    for (unsigned n = 0; n < params_.retireWidth; ++n) {
+        if (rob_.empty())
+            break;
+        RobEntry &head = rob_.front();
+        if (!head.done || head.readyAt > cycle_)
+            break;
+
+        applyCommitEffect(head);
+        trace(TraceEvent::Commit, head.seq, head.pc, head.uop.cls);
+
+        if (head.uop.fromIntrPath) {
+            if (recordOpen_ && currentRecord_.firstUopCommitAt == 0)
+                currentRecord_.firstUopCommitAt = cycle_;
+            intr_.onFirstIntrCommit();
+        }
+
+        ++stats_.committedUops;
+        if (head.uop.eom && head.pc != kUcodePc) {
+            ++stats_.committedInsts;
+            lastCommittedNextPc_ = head.nextPc;
+        }
+        if (head.uop.cls == OpClass::MemRead && lqCount_ > 0)
+            --lqCount_;
+        if (head.uop.cls == OpClass::MemWrite) {
+            if (sqCount_ > 0)
+                --sqCount_;
+            // Drain the store to the cache (tags only).
+            if (head.uop.mem != MemMode::None)
+                mem_.access(head.addr);
+        }
+        McodeEffect effect = head.uop.effect;
+        rob_.pop_front();
+
+        // UIF-changing instructions are serializing: they end the
+        // retire group so the interrupt-accept logic observes the
+        // new flag value at a cycle boundary (the stui window).
+        if (effect == McodeEffect::SetUif ||
+            effect == McodeEffect::ClearUif)
+            break;
+    }
+}
+
+void
+OooCore::applyCommitEffect(const RobEntry &entry)
+{
+    switch (entry.uop.effect) {
+      case McodeEffect::None:
+      case McodeEffect::ReadUitt:
+      case McodeEffect::PostUpid:
+        break;
+      case McodeEffect::WriteIcr:
+        // Handled at execute (writeback stage).
+        break;
+      case McodeEffect::ReadUpidToUirr:
+        upid_.fetchAndClearPir();
+        upid_.clearOutstanding();
+        break;
+      case McodeEffect::ClearUif:
+        intr_.setUif(false);
+        break;
+      case McodeEffect::SetUif:
+        intr_.setUif(true);
+        break;
+      case McodeEffect::JumpHandler:
+        trace(TraceEvent::IntrDeliver);
+        ++stats_.interruptsDelivered;
+        if (recordOpen_)
+            currentRecord_.deliveryCommitAt = cycle_;
+        break;
+      case McodeEffect::ReturnFromHandler:
+        trace(TraceEvent::IntrReturn);
+        intr_.onHandlerReturn();
+        if (recordOpen_) {
+            currentRecord_.uiretCommitAt = cycle_;
+            stats_.intrRecords.push_back(currentRecord_);
+            recordOpen_ = false;
+        }
+        break;
+      case McodeEffect::SetTimerArm: {
+        bool periodic = (entry.imm >> 63) & 1;
+        Cycles cycles = entry.imm & ~(1ull << 63);
+        kbTimer_.setTimer(cycle_, cycles,
+                          periodic ? KbTimerMode::Periodic
+                                   : KbTimerMode::OneShot);
+        break;
+      }
+      case McodeEffect::ClearTimerArm:
+        kbTimer_.clearTimer();
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writeback / branch resolution
+// ---------------------------------------------------------------------
+
+void
+OooCore::writebackStage()
+{
+    for (auto &entry : rob_) {
+        if (!entry.issued || entry.done || entry.readyAt > cycle_)
+            continue;
+        entry.done = true;
+        trace(TraceEvent::Complete, entry.seq, entry.pc,
+              entry.uop.cls);
+        if (entry.uop.effect == McodeEffect::WriteIcr) {
+            // The write to the ICR happens at execution; the APIC
+            // emits the notification IPI then, not at retirement.
+            // Safe to act on: SerializeMsr issues only from the ROB
+            // head, so it is never on a speculative path.
+            if (!stats_.sendRecords.empty() &&
+                stats_.sendRecords.back().icrCommitAt == 0)
+                stats_.sendRecords.back().icrCommitAt = cycle_;
+            if (system_)
+                system_->senduipiCommit(*this, entry.imm);
+            continue;
+        }
+        if (entry.uop.effect == McodeEffect::JumpHandler) {
+            if (recordOpen_ && currentRecord_.deliveryExecAt == 0)
+                currentRecord_.deliveryExecAt = cycle_;
+            fetchPc_ = program_->handlerEntry();
+            awaitRedirect_ = false;
+            frontendStallUntil_ = std::max<Cycles>(
+                frontendStallUntil_,
+                cycle_ + params_.takenBranchBubble);
+            continue;
+        }
+        if (entry.uop.effect == McodeEffect::ReturnFromHandler) {
+            fetchPc_ = resumePc_;
+            awaitRedirect_ = false;
+            frontendStallUntil_ = std::max<Cycles>(
+                frontendStallUntil_,
+                cycle_ + params_.takenBranchBubble);
+            continue;
+        }
+        if (!entry.isBranch)
+            continue;
+        if (!entry.wrongPath && !entry.staticBranch &&
+            entry.uop.effect == McodeEffect::None) {
+            predictor_.update(entry.pc, entry.actualTaken,
+                              entry.predictedTaken);
+        }
+        if (entry.mispredicted) {
+            ++stats_.branchMispredicts;
+            // Restore history to the pre-branch state, then apply
+            // the correct outcome.
+            predictor_.restoreHistory(entry.historyBefore);
+            predictor_.update(entry.pc, entry.actualTaken,
+                              entry.predictedTaken);
+            squashYoungerThan(entry.seq, entry.correctTarget,
+                              predictor_.history());
+            break;  // younger entries are gone; stop iterating
+        }
+    }
+}
+
+void
+OooCore::squashYoungerThan(std::uint64_t seq,
+                           std::uint32_t recovery_pc,
+                           std::uint64_t history)
+{
+    std::uint64_t killed_rob = 0;
+    bool killed_intr = false;
+    trace(TraceEvent::Squash, seq);
+
+    while (!rob_.empty() && rob_.back().seq > seq) {
+        if (rob_.back().uop.fromIntrPath)
+            killed_intr = true;
+        rob_.pop_back();
+        ++killed_rob;
+    }
+    for (const auto &f : fetchBuffer_) {
+        if (f.uop.fromIntrPath)
+            killed_intr = true;
+    }
+    for (const auto &u : ucodeQueue_) {
+        if (u.fromIntrPath)
+            killed_intr = true;
+    }
+    stats_.squashedUops += killed_rob + fetchBuffer_.size();
+    ++stats_.squashes;
+    fetchBuffer_.clear();
+    ucodeQueue_.clear();
+
+    rebuildRenameTable();
+
+    onWrongPath_ = false;
+    fetchHalted_ = false;
+    awaitRedirect_ = false;
+    fetchPc_ = recovery_pc;
+    predictor_.restoreHistory(history);
+
+    Cycles penalty =
+        (killed_rob + params_.squashWidth - 1) / params_.squashWidth;
+    Cycles until = cycle_ + penalty + 1;
+    if (until > frontendStallUntil_)
+        frontendStallUntil_ = until;
+
+    if (intr_.onSquash(killed_intr))
+        ++stats_.reinjections;
+}
+
+void
+OooCore::squashAll()
+{
+    std::uint64_t killed_rob = rob_.size();
+    stats_.squashedUops += killed_rob + fetchBuffer_.size();
+    if (killed_rob + fetchBuffer_.size() > 0)
+        ++stats_.squashes;
+    rob_.clear();
+    fetchBuffer_.clear();
+    ucodeQueue_.clear();
+    rebuildRenameTable();
+    onWrongPath_ = false;
+    fetchHalted_ = false;
+    awaitRedirect_ = false;
+
+    Cycles penalty =
+        (killed_rob + params_.squashWidth - 1) / params_.squashWidth;
+    Cycles until = cycle_ + penalty;
+    if (until > frontendStallUntil_)
+        frontendStallUntil_ = until;
+}
+
+void
+OooCore::rebuildRenameTable()
+{
+    for (auto &r : renameTable_)
+        r = 0;
+    iqCount_ = 0;
+    lqCount_ = 0;
+    sqCount_ = 0;
+    iqList_.clear();
+    for (auto &entry : rob_) {
+        if (entry.uop.dest != reg::kNone)
+            renameTable_[entry.uop.dest] = entry.seq;
+        if (!entry.issued) {
+            ++iqCount_;
+            iqList_.push_back(&entry);
+        }
+        if (entry.uop.cls == OpClass::MemRead)
+            ++lqCount_;
+        if (entry.uop.cls == OpClass::MemWrite)
+            ++sqCount_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------
+
+unsigned
+OooCore::memAccessLatency(RobEntry &entry)
+{
+    if (entry.uop.mem == MemMode::Remote)
+        return mem_.remoteAccess(entry.addr);
+
+    // Store-to-load forwarding from older in-flight stores.
+    if (sqCount_ > 0) {
+        for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
+            if (it->seq >= entry.seq)
+                continue;
+            if (it->uop.cls == OpClass::MemWrite &&
+                it->addr == entry.addr)
+                return 2;
+        }
+    }
+    return mem_.access(entry.addr);
+}
+
+bool
+OooCore::depReady(std::uint64_t dep) const
+{
+    if (dep == 0)
+        return true;
+    std::size_t slot = dep & kRingMask;
+    // Slot reused by a much younger micro-op: the producer retired
+    // thousands of micro-ops ago, so the value is ready.
+    if (ringSeq_[slot] != dep)
+        return true;
+    return ringReadyAt_[slot] <= cycle_;
+}
+
+void
+OooCore::issueStage()
+{
+    unsigned issued = 0;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < iqList_.size(); ++i) {
+        RobEntry *entry = iqList_[i];
+        bool can = issued < params_.issueWidth;
+
+        // Serializing micro-ops issue only from the ROB head.
+        if (can && entry->uop.cls == OpClass::SerializeMsr &&
+            entry != &rob_.front())
+            can = false;
+
+        if (can && !(depReady(entry->dep1) && depReady(entry->dep2)))
+            can = false;
+
+        unsigned pool = fuPoolOf(entry->uop.cls);
+        if (can && fuTokens_[pool] == 0)
+            can = false;
+
+        if (!can) {
+            iqList_[kept++] = entry;
+            continue;
+        }
+
+        --fuTokens_[pool];
+        unsigned latency;
+        if (entry->uop.cls == OpClass::MemRead)
+            latency = memAccessLatency(*entry);
+        else
+            latency = classLatency(entry->uop);
+
+        entry->issued = true;
+        entry->readyAt = cycle_ + latency;
+        trace(TraceEvent::Issue, entry->seq, entry->pc,
+              entry->uop.cls);
+        ringReadyAt_[entry->seq & kRingMask] = entry->readyAt;
+        if (iqCount_ > 0)
+            --iqCount_;
+        ++issued;
+    }
+    iqList_.resize(kept);
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (rename + ROB allocation)
+// ---------------------------------------------------------------------
+
+void
+OooCore::dispatchStage()
+{
+    for (unsigned n = 0; n < params_.decodeWidth; ++n) {
+        if (fetchBuffer_.empty())
+            break;
+        RobEntry &front = fetchBuffer_.front();
+        if (front.readyAt > cycle_)
+            break;
+        if (rob_.size() >= params_.robSize)
+            break;
+        if (iqCount_ >= params_.iqSize)
+            break;
+        if (front.uop.cls == OpClass::MemRead &&
+            lqCount_ >= params_.lqSize)
+            break;
+        if (front.uop.cls == OpClass::MemWrite &&
+            sqCount_ >= params_.sqSize)
+            break;
+
+        RobEntry entry = front;
+        fetchBuffer_.pop_front();
+        entry.readyAt = 0;
+        entry.issued = false;
+        entry.done = false;
+
+        if (entry.uop.src1 != reg::kNone)
+            entry.dep1 = renameTable_[entry.uop.src1];
+        if (entry.uop.src2 != reg::kNone)
+            entry.dep2 = renameTable_[entry.uop.src2];
+        if (entry.uop.dest != reg::kNone)
+            renameTable_[entry.uop.dest] = entry.seq;
+
+        if (entry.uop.effect == McodeEffect::ReadUitt)
+            stats_.sendRecords.push_back(SendRecord{cycle_, 0});
+
+        ++iqCount_;
+        if (entry.uop.cls == OpClass::MemRead)
+            ++lqCount_;
+        if (entry.uop.cls == OpClass::MemWrite)
+            ++sqCount_;
+
+        std::size_t slot = entry.seq & kRingMask;
+        ringSeq_[slot] = entry.seq;
+        ringReadyAt_[slot] = ~0ull;
+
+        trace(TraceEvent::Dispatch, entry.seq, entry.pc,
+              entry.uop.cls);
+        rob_.push_back(entry);
+        iqList_.push_back(&rob_.back());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interrupt acceptance
+// ---------------------------------------------------------------------
+
+void
+OooCore::checkInterruptAccept()
+{
+    if (!intr_.canAccept())
+        return;
+
+    PendingIntr p = intr_.accept();
+    trace(TraceEvent::IntrAccept);
+    currentRecord_ = IntrRecord{};
+    currentRecord_.source = p.source;
+    currentRecord_.vector = p.vector;
+    currentRecord_.raisedAt = p.raisedAt;
+    currentRecord_.acceptedAt = cycle_;
+    recordOpen_ = true;
+
+    switch (params_.strategy) {
+      case DeliveryStrategy::Flush: {
+        squashAll();
+        resumePc_ = lastCommittedNextPc_;
+        fetchPc_ = resumePc_;
+        loadUcodeForCurrent();
+        intr_.onInjected();
+        currentRecord_.injectedAt = cycle_;
+        frontendStallUntil_ = std::max<Cycles>(
+            frontendStallUntil_,
+            cycle_ + params_.mcode.flushUcodeEntryLatency);
+        break;
+      }
+      case DeliveryStrategy::Drain:
+        drainWaiting_ = true;
+        break;
+      case DeliveryStrategy::Tracked:
+        // Fetch injects at the next instruction (or safepoint)
+        // boundary.
+        break;
+    }
+}
+
+void
+OooCore::loadUcodeForCurrent()
+{
+    ucodeQueue_.clear();
+    const PendingIntr &cur = intr_.current();
+    if (cur.source == IntrSource::UserIpi) {
+        for (const auto &u : mcrom_.notify())
+            ucodeQueue_.push_back(u);
+    }
+    // KB timer and forwarded interrupts skip notification
+    // processing entirely (§4.3, §4.5): no UPID traffic.
+    for (const auto &u : mcrom_.delivery())
+        ucodeQueue_.push_back(u);
+    ucodeMacroPc_ = kUcodePc;
+    ucodeNextPc_ = 0;
+    ucodeImm_ = 0;
+}
+
+void
+OooCore::beginInjection()
+{
+    trace(TraceEvent::IntrInject);
+    resumePc_ = fetchPc_;
+    loadUcodeForCurrent();
+    intr_.onInjected();
+    if (currentRecord_.injectedAt == 0)
+        currentRecord_.injectedAt = cycle_;
+    frontendStallUntil_ = std::max<Cycles>(
+        frontendStallUntil_,
+        cycle_ + params_.mcode.trackedUcodeEntryLatency);
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+std::uint64_t
+OooCore::genAddress(const MacroOp &op, std::uint32_t pc)
+{
+    const AddrPattern &a = op.addr;
+    switch (a.kind) {
+      case AddrKind::Fixed:
+        return a.base;
+      case AddrKind::Stride: {
+        std::uint64_t n = execCount_[pc];
+        if (!onWrongPath_)
+            ++execCount_[pc];
+        return a.base + (n * a.stride) % (a.range ? a.range : 1);
+      }
+      case AddrKind::Random:
+      case AddrKind::Chase: {
+        std::uint64_t off = rng_.nextBounded(a.range ? a.range : 64);
+        return a.base + (off & ~7ull);
+      }
+      case AddrKind::None:
+        break;
+    }
+    return a.base;
+}
+
+bool
+OooCore::evalBranch(const MacroOp &op, std::uint32_t pc)
+{
+    switch (op.branch.kind) {
+      case BranchKind::Always:
+        return true;
+      case BranchKind::Never:
+        return false;
+      case BranchKind::Loop: {
+        std::uint64_t iter = execCount_[pc]++;
+        return (iter % op.branch.count) != (op.branch.count - 1);
+      }
+      case BranchKind::Random:
+        return rng_.nextBool(op.branch.probability);
+      case BranchKind::None:
+        break;
+    }
+    return false;
+}
+
+void
+OooCore::fetchStage()
+{
+    if (frontendStallUntil_ > cycle_)
+        return;
+    if (fetchBuffer_.size() >= kFetchBufferCap)
+        return;
+
+    if (drainWaiting_) {
+        if (rob_.empty() && fetchBuffer_.empty()) {
+            drainWaiting_ = false;
+            beginInjection();
+        } else {
+            ++stats_.drainWaitCycles;
+        }
+        return;
+    }
+
+    unsigned budget = params_.fetchWidth;
+    while (budget > 0) {
+        if (fetchBuffer_.size() >= kFetchBufferCap)
+            break;
+        if (!ucodeQueue_.empty()) {
+            fetchUcodeUop();
+            --budget;
+            if (frontendStallUntil_ > cycle_)
+                break;  // redirect bubble
+            continue;
+        }
+
+        // Waiting for a microcode jump/return to execute: the next
+        // fetch address is not known yet.
+        if (awaitRedirect_)
+            break;
+
+        // Instruction boundary: tracked injection point.
+        bool at_safepoint =
+            !fetchHalted_ && fetchPc_ < program_->size() &&
+            program_->at(fetchPc_).isSafepoint;
+        if (intr_.shouldInject(at_safepoint, params_.safepointMode)) {
+            beginInjection();
+            break;
+        }
+
+        if (fetchHalted_)
+            break;
+
+        std::uint32_t before_stall_pc = fetchPc_;
+        (void)before_stall_pc;
+        fetchProgramOp();
+        --budget;
+        if (frontendStallUntil_ > cycle_)
+            break;  // taken-branch bubble
+        if (fetchHalted_)
+            break;
+    }
+}
+
+void
+OooCore::fetchProgramOp()
+{
+    assert(fetchPc_ < program_->size());
+    const MacroOp &op = program_->at(fetchPc_);
+    std::uint32_t pc = fetchPc_;
+
+    // Microcoded instructions switch the fetch source to the MSROM.
+    switch (op.opcode) {
+      case MacroOpcode::Halt:
+        fetchHalted_ = true;
+        return;
+      case MacroOpcode::SendUipi:
+      case MacroOpcode::Uiret:
+      case MacroOpcode::Clui:
+      case MacroOpcode::Stui:
+      case MacroOpcode::TestUi:
+      case MacroOpcode::SetTimer:
+      case MacroOpcode::ClearTimer: {
+        const std::vector<MicroOp> *routine = nullptr;
+        std::uint64_t imm = op.imm;
+        switch (op.opcode) {
+          case MacroOpcode::SendUipi:
+            routine = &mcrom_.senduipi();
+            break;
+          case MacroOpcode::Uiret:
+            routine = &mcrom_.uiret();
+            break;
+          case MacroOpcode::Clui:
+            routine = &mcrom_.clui();
+            break;
+          case MacroOpcode::Stui:
+          case MacroOpcode::TestUi:
+            routine = &mcrom_.stui();
+            break;
+          case MacroOpcode::SetTimer:
+            routine = &mcrom_.setTimer();
+            imm = op.imm |
+                (op.branch.count ? (1ull << 63) : 0);
+            break;
+          case MacroOpcode::ClearTimer:
+            routine = &mcrom_.clearTimer();
+            break;
+          default:
+            break;
+        }
+        for (const auto &u : *routine)
+            ucodeQueue_.push_back(u);
+        ucodeMacroPc_ = pc;
+        ucodeNextPc_ = pc + 1;
+        ucodeImm_ = imm;
+        fetchPc_ = pc + 1;
+        return;  // micro-ops stream on subsequent fetch slots
+      }
+      default:
+        break;
+    }
+
+    RobEntry entry;
+    entry.seq = nextSeq_++;
+    entry.pc = pc;
+    entry.nextPc = pc + 1;
+    entry.imm = op.imm;
+    entry.wrongPath = onWrongPath_;
+    entry.readyAt = cycle_ + params_.frontendDepth;
+
+    MicroOp u;
+    u.dest = op.dest;
+    u.src1 = op.src1;
+    u.src2 = op.src2;
+    u.eom = true;
+    u.safepoint = op.isSafepoint;
+
+    switch (op.opcode) {
+      case MacroOpcode::IntAlu:
+        u.cls = OpClass::IntAlu;
+        break;
+      case MacroOpcode::IntMult:
+        u.cls = OpClass::IntMult;
+        break;
+      case MacroOpcode::FpAlu:
+        u.cls = OpClass::FpAlu;
+        break;
+      case MacroOpcode::FpMult:
+        u.cls = OpClass::FpMult;
+        break;
+      case MacroOpcode::Nop:
+        u.cls = OpClass::Nop;
+        break;
+      case MacroOpcode::Rdtsc:
+        u.cls = OpClass::Rdtsc;
+        break;
+      case MacroOpcode::Load:
+        u.cls = OpClass::MemRead;
+        u.mem = MemMode::Local;
+        entry.addr = genAddress(op, pc);
+        break;
+      case MacroOpcode::Store:
+        u.cls = OpClass::MemWrite;
+        u.mem = MemMode::Local;
+        entry.addr = genAddress(op, pc);
+        break;
+      case MacroOpcode::Branch: {
+        u.cls = OpClass::Branch;
+        entry.isBranch = true;
+        entry.historyBefore = predictor_.history();
+
+        bool predicted;
+        bool actual;
+        if (op.branch.kind == BranchKind::Always) {
+            predicted = true;
+            actual = true;
+            entry.staticBranch = true;
+        } else if (op.branch.kind == BranchKind::Never) {
+            // Perfectly-biased not-taken branch (e.g.\ a Concord
+            // poll check): statically predicted, filtered from the
+            // global history like a real front-end would.
+            predicted = false;
+            actual = onWrongPath_ ? false : evalBranch(op, pc);
+            entry.staticBranch = true;
+        } else {
+            predicted = predictor_.predict(pc);
+            actual = onWrongPath_ ? predicted
+                                  : evalBranch(op, pc);
+        }
+        entry.predictedTaken = predicted;
+        entry.actualTaken = actual;
+        entry.correctTarget = actual ? op.target : pc + 1;
+        entry.nextPc = entry.correctTarget;
+        entry.mispredicted = !onWrongPath_ && predicted != actual;
+        if (entry.mispredicted)
+            onWrongPath_ = true;
+
+        fetchPc_ = predicted ? op.target : pc + 1;
+        if (predicted) {
+            frontendStallUntil_ = std::max<Cycles>(
+                frontendStallUntil_,
+                cycle_ + params_.takenBranchBubble);
+        }
+        entry.uop = u;
+        fetchBuffer_.push_back(entry);
+        ++stats_.fetchedUops;
+        return;
+      }
+      default:
+        u.cls = OpClass::Nop;
+        break;
+    }
+
+    entry.uop = u;
+    fetchPc_ = pc + 1;
+    trace(TraceEvent::Fetch, entry.seq, entry.pc, entry.uop.cls);
+    fetchBuffer_.push_back(entry);
+    ++stats_.fetchedUops;
+}
+
+void
+OooCore::fetchUcodeUop()
+{
+    assert(!ucodeQueue_.empty());
+    MicroOp u = ucodeQueue_.front();
+    ucodeQueue_.pop_front();
+
+    RobEntry entry;
+    entry.seq = nextSeq_++;
+    entry.pc = ucodeMacroPc_;
+    entry.nextPc = ucodeNextPc_;
+    entry.imm = ucodeImm_;
+    entry.wrongPath = onWrongPath_;
+    entry.readyAt = cycle_ + params_.frontendDepth;
+    entry.addr = u.addr;
+    entry.isBranch = u.cls == OpClass::Branch;
+    entry.uop = u;
+
+    if (u.effect == McodeEffect::JumpHandler ||
+        u.effect == McodeEffect::ReturnFromHandler) {
+        assert(u.effect != McodeEffect::JumpHandler ||
+               program_->handlerEntry() != Program::kNoHandler);
+        // The target is produced by the routine itself (the uiret
+        // target is popped from the stack): program fetch cannot
+        // resume until the redirect micro-op *executes*.
+        awaitRedirect_ = true;
+    }
+
+    trace(TraceEvent::Fetch, entry.seq, entry.pc, entry.uop.cls);
+    fetchBuffer_.push_back(entry);
+    ++stats_.fetchedUops;
+}
+
+} // namespace xui

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Cycle-level out-of-order core model.
+ *
+ * A single class models the pipeline of a Sapphire-Rapids-like core
+ * (Table 3 configuration): a fetch unit with branch prediction and
+ * microcode injection, rename/dispatch into a ROB with IQ/LQ/SQ
+ * occupancy limits, out-of-order issue to typed functional units, a
+ * real cache hierarchy for loads, mispredict squash with bounded
+ * squash width, and instruction-granular commit.
+ *
+ * Interrupt delivery implements all three strategies the paper
+ * studies (§3.5, §4.2):
+ *  - Flush: squash everything in flight, charge the microcode-entry
+ *    latency, resume after the handler at the last committed PC;
+ *  - Drain: stop fetching and wait for the ROB to empty first;
+ *  - Tracked (xUI): redirect the next-PC mux to the MSROM at the next
+ *    instruction (or safepoint) boundary, tag injected micro-ops, and
+ *    re-inject after any squash that kills them before first commit.
+ */
+
+#ifndef XUI_UARCH_OOO_CORE_HH
+#define XUI_UARCH_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "des/time.hh"
+#include "intr/forwarding.hh"
+#include "intr/kb_timer.hh"
+#include "intr/upid.hh"
+#include "stats/rng.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "uarch/core_params.hh"
+#include "uarch/interrupt_unit.hh"
+#include "uarch/mcrom.hh"
+#include "uarch/program.hh"
+#include "uarch/trace.hh"
+
+namespace xui
+{
+
+class UarchSystem;
+
+/** Timeline of one delivered interrupt (drives Fig. 2 / Fig. 4). */
+struct IntrRecord
+{
+    IntrSource source{};
+    std::uint8_t vector = 0;
+    Cycles raisedAt = 0;
+    Cycles acceptedAt = 0;
+    Cycles injectedAt = 0;
+    Cycles firstUopCommitAt = 0;
+    /** Delivery jump executed: the handler starts fetching. */
+    Cycles deliveryExecAt = 0;
+    Cycles deliveryCommitAt = 0;
+    Cycles uiretCommitAt = 0;
+};
+
+/** Sender-side timeline of one senduipi (drives Table 2 / Fig. 2). */
+struct SendRecord
+{
+    Cycles dispatchedAt = 0;
+    Cycles icrCommitAt = 0;
+};
+
+/** Aggregate core counters. */
+struct CoreStats
+{
+    Cycles cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedUops = 0;
+    std::uint64_t fetchedUops = 0;
+    std::uint64_t squashedUops = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t interruptsRaised = 0;
+    std::uint64_t interruptsDelivered = 0;
+    std::uint64_t reinjections = 0;
+    std::uint64_t slowPathForwards = 0;
+    std::uint64_t drainWaitCycles = 0;
+    std::vector<IntrRecord> intrRecords;
+    std::vector<SendRecord> sendRecords;
+};
+
+/** The out-of-order core. */
+class OooCore
+{
+  public:
+    /**
+     * @param id core / APIC identifier
+     * @param params pipeline configuration
+     * @param program the static program this core runs
+     * @param rng private stream for address/branch randomness
+     */
+    OooCore(unsigned id, const CoreParams &params,
+            const Program *program, Rng rng);
+
+    /** Attach the multi-core fabric (needed only for senduipi). */
+    void setSystem(UarchSystem *system) { system_ = system; }
+
+    /** Attach a pipeline tracer (nullptr disables tracing). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run for a fixed number of cycles. */
+    void runCycles(Cycles n);
+
+    /**
+     * Run until `insts` macro instructions have committed.
+     * @return cycles elapsed; stops early at max_cycles.
+     */
+    Cycles runUntilCommitted(std::uint64_t insts,
+                             Cycles max_cycles = ~0ull);
+
+    Cycles now() const { return cycle_; }
+    unsigned id() const { return id_; }
+    bool halted() const;
+
+    /** Interrupt plumbing. */
+    InterruptUnit &intrUnit() { return intr_; }
+    KbTimer &kbTimer() { return kbTimer_; }
+    ForwardingUnit &forwarding() { return forwarding_; }
+    Dupid &dupid() { return dupid_; }
+    Upid &upid() { return upid_; }
+
+    /** The UINV vector discriminating UIPI notifications. */
+    void setUinv(std::uint8_t v) { uinv_ = v; }
+    std::uint8_t uinv() const { return uinv_; }
+
+    /** A conventional IPI arrives at this core's APIC at `when`. */
+    void receiveIpi(std::uint8_t vector, Cycles when);
+
+    /** A device interrupt arrives now (forwarding logic applies). */
+    void deviceInterrupt(std::uint8_t vector);
+
+    CoreStats &stats() { return stats_; }
+    const CoreParams &params() const { return params_; }
+    MemHierarchy &mem() { return mem_; }
+    BranchPredictor &predictor() { return predictor_; }
+
+    /** Count of in-flight (un-committed) micro-ops. */
+    std::size_t robOccupancy() const { return rob_.size(); }
+
+  private:
+    /** One in-flight micro-op. */
+    struct RobEntry
+    {
+        MicroOp uop;
+        std::uint64_t seq = 0;
+        std::uint32_t pc = kUcodePc;
+        std::uint32_t nextPc = 0;
+        std::uint64_t imm = 0;
+        bool issued = false;
+        bool done = false;
+        Cycles readyAt = 0;
+        std::uint64_t addr = 0;
+        bool isBranch = false;
+        /** Perfectly-biased branch: statically predicted, kept out
+         * of the dynamic predictor and its history. */
+        bool staticBranch = false;
+        bool predictedTaken = false;
+        bool actualTaken = false;
+        bool mispredicted = false;
+        bool wrongPath = false;
+        std::uint32_t correctTarget = 0;
+        std::uint64_t historyBefore = 0;
+        std::uint64_t dep1 = 0;
+        std::uint64_t dep2 = 0;
+    };
+
+    static constexpr std::uint32_t kUcodePc = 0xffffffff;
+
+    /** Pipeline stages (called in reverse order from tick()). */
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    /** Interrupt accept / injection helpers. */
+    void checkInterruptAccept();
+    void beginInjection();
+    void loadUcodeForCurrent();
+    void squashAll();
+    void squashYoungerThan(std::uint64_t seq,
+                           std::uint32_t recovery_pc,
+                           std::uint64_t history);
+    void rebuildRenameTable();
+    void applyCommitEffect(const RobEntry &entry);
+    bool depReady(std::uint64_t dep) const;
+    unsigned memAccessLatency(RobEntry &entry);
+    std::uint64_t genAddress(const MacroOp &op, std::uint32_t pc);
+    bool evalBranch(const MacroOp &op, std::uint32_t pc);
+    void fetchProgramOp();
+    void fetchUcodeUop();
+    unsigned fuPoolOf(OpClass cls) const;
+    unsigned classLatency(const MicroOp &uop) const;
+
+    /** Emit a trace event when a tracer is attached. */
+    void
+    trace(TraceEvent ev, std::uint64_t seq = 0,
+          std::uint32_t pc = kUcodePc, OpClass cls = OpClass::Nop)
+    {
+        if (tracer_)
+            tracer_->event(ev, cycle_, seq, pc, cls);
+    }
+
+    unsigned id_;
+    CoreParams params_;
+    const Program *program_;
+    Rng rng_;
+    UarchSystem *system_ = nullptr;
+    Tracer *tracer_ = nullptr;
+
+    Mcrom mcrom_;
+    MemHierarchy mem_;
+    BranchPredictor predictor_;
+    InterruptUnit intr_;
+    KbTimer kbTimer_;
+    ForwardingUnit forwarding_;
+    Dupid dupid_;
+    Upid upid_;
+    std::uint8_t uinv_ = 0xec;
+
+    Cycles cycle_ = 0;
+    std::uint64_t nextSeq_ = 1;
+
+    // Fetch state.
+    std::uint32_t fetchPc_;
+    bool fetchHalted_ = false;
+    Cycles frontendStallUntil_ = 0;
+    bool onWrongPath_ = false;
+    std::deque<MicroOp> ucodeQueue_;
+    std::uint64_t ucodeImm_ = 0;
+    std::uint32_t ucodeMacroPc_ = kUcodePc;
+    std::uint32_t ucodeNextPc_ = 0;
+    bool drainWaiting_ = false;
+    /** Fetch is blocked on a microcode jump/return executing. */
+    bool awaitRedirect_ = false;
+
+    // Saved return point for uiret (the paper's tracked next_pc).
+    std::uint32_t resumePc_ = 0;
+    std::uint32_t lastCommittedNextPc_ = 0;
+
+    // Fetch buffer: fetched micro-ops in flight to dispatch.
+    std::deque<RobEntry> fetchBuffer_;
+
+    // Backend.
+    std::deque<RobEntry> rob_;
+    std::vector<RobEntry *> iqList_;
+    std::vector<std::uint64_t> renameTable_;
+    std::vector<std::uint64_t> execCount_;
+
+    // Producer readiness ring, indexed by seq & kRingMask. Avoids a
+    // hash lookup per dependency per cycle.
+    static constexpr std::size_t kRingSize = 1 << 14;
+    static constexpr std::uint64_t kRingMask = kRingSize - 1;
+    std::vector<std::uint64_t> ringSeq_;
+    std::vector<Cycles> ringReadyAt_;
+
+    /** Max micro-ops buffered between fetch and dispatch. */
+    static constexpr std::size_t kFetchBufferCap = 48;
+
+    // Occupancy counters (recomputed after squashes).
+    unsigned iqCount_ = 0;
+    unsigned lqCount_ = 0;
+    unsigned sqCount_ = 0;
+
+    // Per-cycle FU tokens.
+    unsigned fuTokens_[5] = {0, 0, 0, 0, 0};
+
+    // In-flight IPIs addressed to this core.
+    struct IpiArrival
+    {
+        std::uint8_t vector;
+        Cycles when;
+    };
+    std::deque<IpiArrival> ipiInbox_;
+
+    // Current interrupt record being assembled.
+    IntrRecord currentRecord_;
+    bool recordOpen_ = false;
+
+    CoreStats stats_;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_OOO_CORE_HH

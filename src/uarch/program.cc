@@ -1,0 +1,238 @@
+#include "uarch/program.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace xui
+{
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    prog_.name_ = std::move(name);
+}
+
+std::uint32_t
+ProgramBuilder::here() const
+{
+    return static_cast<std::uint32_t>(prog_.ops_.size());
+}
+
+std::uint32_t
+ProgramBuilder::append(MacroOp op)
+{
+    std::uint32_t pc = here();
+    prog_.ops_.push_back(op);
+    return pc;
+}
+
+std::uint32_t
+ProgramBuilder::intAlu(std::uint8_t dest, std::uint8_t src1,
+                       std::uint8_t src2)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::IntAlu;
+    op.dest = dest;
+    op.src1 = src1;
+    op.src2 = src2;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::intMult(std::uint8_t dest, std::uint8_t src1,
+                        std::uint8_t src2)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::IntMult;
+    op.dest = dest;
+    op.src1 = src1;
+    op.src2 = src2;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::fpAlu(std::uint8_t dest, std::uint8_t src1,
+                      std::uint8_t src2)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::FpAlu;
+    op.dest = dest;
+    op.src1 = src1;
+    op.src2 = src2;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::fpMult(std::uint8_t dest, std::uint8_t src1,
+                       std::uint8_t src2)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::FpMult;
+    op.dest = dest;
+    op.src1 = src1;
+    op.src2 = src2;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::load(std::uint8_t dest, AddrPattern addr,
+                     std::uint8_t addr_src)
+{
+    assert(addr.kind != AddrKind::None);
+    MacroOp op;
+    op.opcode = MacroOpcode::Load;
+    op.dest = dest;
+    op.src1 = addr_src;
+    op.addr = addr;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::store(std::uint8_t src, AddrPattern addr)
+{
+    assert(addr.kind != AddrKind::None);
+    MacroOp op;
+    op.opcode = MacroOpcode::Store;
+    op.src1 = src;
+    op.addr = addr;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::nop()
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Nop;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::safepoint()
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Nop;
+    op.isSafepoint = true;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::rdtsc(std::uint8_t dest)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Rdtsc;
+    op.dest = dest;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::loopBranch(std::uint32_t target, std::uint64_t count)
+{
+    assert(count >= 1);
+    MacroOp op;
+    op.opcode = MacroOpcode::Branch;
+    op.target = target;
+    op.branch.kind = BranchKind::Loop;
+    op.branch.count = count;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::jump(std::uint32_t target)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Branch;
+    op.target = target;
+    op.branch.kind = BranchKind::Always;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::randomBranch(std::uint32_t target, double p)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Branch;
+    op.target = target;
+    op.branch.kind = BranchKind::Random;
+    op.branch.probability = p;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::sendUipi(std::uint64_t uitt_index)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::SendUipi;
+    op.imm = uitt_index;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::clui()
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Clui;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::stui()
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Stui;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::uiret()
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Uiret;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::setTimer(std::uint64_t cycles, bool periodic)
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::SetTimer;
+    op.imm = cycles;
+    op.branch.count = periodic ? 1 : 0;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::clearTimer()
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::ClearTimer;
+    return append(op);
+}
+
+std::uint32_t
+ProgramBuilder::halt()
+{
+    MacroOp op;
+    op.opcode = MacroOpcode::Halt;
+    return append(op);
+}
+
+void
+ProgramBuilder::beginHandler()
+{
+    prog_.handlerEntry_ = here();
+}
+
+void
+ProgramBuilder::markSafepoint()
+{
+    assert(!prog_.ops_.empty());
+    prog_.ops_.back().isSafepoint = true;
+}
+
+Program
+ProgramBuilder::build()
+{
+    assert(!prog_.ops_.empty());
+    return std::move(prog_);
+}
+
+} // namespace xui

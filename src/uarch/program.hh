@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Static program representation for the cycle-level core: an array of
+ * macro-ops indexed by PC, with declarative memory-address and branch
+ * behaviour so synthetic workloads exercise the cache hierarchy and
+ * branch predictor realistically.
+ */
+
+#ifndef XUI_UARCH_PROGRAM_HH
+#define XUI_UARCH_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/op_types.hh"
+
+namespace xui
+{
+
+/** Declarative dynamic-address generator attached to a memory op. */
+struct AddrPattern
+{
+    AddrKind kind = AddrKind::None;
+    std::uint64_t base = 0;
+    std::uint64_t stride = 0;
+    /** Range in bytes the generated addresses cover. */
+    std::uint64_t range = 0;
+};
+
+/** Declarative dynamic-direction generator attached to a branch. */
+struct BranchPattern
+{
+    BranchKind kind = BranchKind::None;
+    /** Loop trip count (Loop) or taken probability (Random). */
+    std::uint64_t count = 0;
+    double probability = 0.0;
+};
+
+/** One static macro-instruction. */
+struct MacroOp
+{
+    MacroOpcode opcode = MacroOpcode::Nop;
+    std::uint8_t dest = reg::kNone;
+    std::uint8_t src1 = reg::kNone;
+    std::uint8_t src2 = reg::kNone;
+    /** Branch target PC (index into the program). */
+    std::uint32_t target = 0;
+    AddrPattern addr;
+    BranchPattern branch;
+    /** Hardware-safepoint prefix (paper §4.4). */
+    bool isSafepoint = false;
+    /** Immediate operand (UITT index, timer cycles, etc.). */
+    std::uint64_t imm = 0;
+};
+
+/**
+ * A static program plus its entry points. Workload builders in
+ * src/workloads construct these; ProgramBuilder provides the fluent
+ * construction API.
+ */
+class Program
+{
+  public:
+    /** The macro-op at a PC. @pre pc < size(). */
+    const MacroOp &at(std::uint32_t pc) const { return ops_[pc]; }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(ops_.size());
+    }
+
+    /** Main-code entry PC. */
+    std::uint32_t entry() const { return entry_; }
+
+    /** User interrupt handler entry PC (kNoHandler when absent). */
+    std::uint32_t handlerEntry() const { return handlerEntry_; }
+
+    static constexpr std::uint32_t kNoHandler = 0xffffffff;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class ProgramBuilder;
+
+    std::vector<MacroOp> ops_;
+    std::uint32_t entry_ = 0;
+    std::uint32_t handlerEntry_ = kNoHandler;
+    std::string name_;
+};
+
+/** Fluent builder used by the workload generators. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Current next-PC (where the next appended op will land). */
+    std::uint32_t here() const;
+
+    /** Append a generic op; returns its PC. */
+    std::uint32_t append(MacroOp op);
+
+    /** Convenience emitters; all return the op's PC. */
+    std::uint32_t intAlu(std::uint8_t dest, std::uint8_t src1,
+                         std::uint8_t src2 = reg::kNone);
+    std::uint32_t intMult(std::uint8_t dest, std::uint8_t src1,
+                          std::uint8_t src2 = reg::kNone);
+    std::uint32_t fpAlu(std::uint8_t dest, std::uint8_t src1,
+                        std::uint8_t src2 = reg::kNone);
+    std::uint32_t fpMult(std::uint8_t dest, std::uint8_t src1,
+                         std::uint8_t src2 = reg::kNone);
+    std::uint32_t load(std::uint8_t dest, AddrPattern addr,
+                       std::uint8_t addr_src = reg::kNone);
+    std::uint32_t store(std::uint8_t src, AddrPattern addr);
+    std::uint32_t nop();
+    std::uint32_t safepoint();
+    std::uint32_t rdtsc(std::uint8_t dest);
+
+    /** Backward loop branch: taken (count-1) times to `target`. */
+    std::uint32_t loopBranch(std::uint32_t target,
+                             std::uint64_t count);
+
+    /** Unconditional jump. */
+    std::uint32_t jump(std::uint32_t target);
+
+    /** Random-direction conditional branch (taken w.p. p). */
+    std::uint32_t randomBranch(std::uint32_t target, double p);
+
+    /** UIPI / xUI instructions. */
+    std::uint32_t sendUipi(std::uint64_t uitt_index);
+    std::uint32_t clui();
+    std::uint32_t stui();
+    std::uint32_t uiret();
+    std::uint32_t setTimer(std::uint64_t cycles, bool periodic);
+    std::uint32_t clearTimer();
+    std::uint32_t halt();
+
+    /** Mark the current position as the interrupt handler entry. */
+    void beginHandler();
+
+    /** Mark the most recently appended op as a safepoint. */
+    void markSafepoint();
+
+    /** Finish; the builder must not be reused afterwards. */
+    Program build();
+
+  private:
+    Program prog_;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_PROGRAM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Pipeline tracing for the cycle-level core — the equivalent of
+ * gem5's Exec/O3 debug traces. A Tracer attached to an OooCore
+ * receives one event per micro-op per stage plus interrupt-unit
+ * transitions; StreamTracer renders them as text for debugging, and
+ * tests use recording tracers to assert stage ordering.
+ *
+ * Tracing is off (null pointer, zero cost) unless attached.
+ */
+
+#ifndef XUI_UARCH_TRACE_HH
+#define XUI_UARCH_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "des/time.hh"
+#include "uarch/op_types.hh"
+
+namespace xui
+{
+
+/** Pipeline stage / event kind for trace records. */
+enum class TraceEvent : std::uint8_t
+{
+    Fetch,
+    Dispatch,
+    Issue,
+    Complete,
+    Commit,
+    Squash,
+    IntrAccept,
+    IntrInject,
+    IntrDeliver,
+    IntrReturn,
+};
+
+/** Name of a trace event (stable strings for output/tests). */
+const char *traceEventName(TraceEvent ev);
+
+/** Receives pipeline events from an OooCore. */
+class Tracer
+{
+  public:
+    virtual ~Tracer() = default;
+
+    /**
+     * One event.
+     * @param ev what happened
+     * @param cycle when
+     * @param seq dynamic micro-op sequence number (0 for
+     *        interrupt-unit events)
+     * @param pc macro PC (0xffffffff for injected microcode)
+     * @param cls micro-op class (Nop for interrupt-unit events)
+     */
+    virtual void event(TraceEvent ev, Cycles cycle,
+                       std::uint64_t seq, std::uint32_t pc,
+                       OpClass cls) = 0;
+};
+
+/** Text tracer: one line per event, gem5-exec-trace flavoured. */
+class StreamTracer : public Tracer
+{
+  public:
+    explicit StreamTracer(std::ostream &os) : os_(os) {}
+
+    void event(TraceEvent ev, Cycles cycle, std::uint64_t seq,
+               std::uint32_t pc, OpClass cls) override;
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_TRACE_HH

@@ -1,0 +1,82 @@
+#include "uarch/uarch_system.hh"
+
+#include <cassert>
+
+namespace xui
+{
+
+UarchSystem::UarchSystem(std::uint64_t seed)
+    : master_(seed)
+{}
+
+OooCore &
+UarchSystem::addCore(const CoreParams &params, const Program *program)
+{
+    auto core = std::make_unique<OooCore>(
+        static_cast<unsigned>(cores_.size()), params, program,
+        master_.split());
+    core->setSystem(this);
+    cores_.push_back(std::move(core));
+    return *cores_.back();
+}
+
+int
+UarchSystem::registerRoute(OooCore &receiver,
+                           std::uint8_t user_vector)
+{
+    Upid &upid = receiver.upid();
+    upid.setNotificationVector(receiver.uinv());
+    upid.setDestination(receiver.id());
+    return uitt_.allocate(&upid, user_vector);
+}
+
+void
+UarchSystem::senduipiCommit(OooCore &sender,
+                            std::uint64_t uitt_index)
+{
+    const UittEntry *entry =
+        uitt_.lookup(static_cast<int>(uitt_index));
+    if (entry == nullptr)
+        return;  // invalid index: senduipi faults; timing unchanged
+    Upid::PostResult result = entry->upid->post(entry->userVector);
+    if (!result.sendIpi)
+        return;
+    std::uint32_t dest = entry->upid->destination();
+    assert(dest < cores_.size());
+    Cycles wire = sender.params().mcode.ipiWireLatency;
+    cores_[dest]->receiveIpi(entry->upid->notificationVector(),
+                             sender.now() + wire);
+}
+
+void
+UarchSystem::injectUipi(OooCore &receiver, std::uint8_t user_vector)
+{
+    Upid &upid = receiver.upid();
+    Upid::PostResult result = upid.post(user_vector);
+    if (!result.sendIpi)
+        return;
+    receiver.receiveIpi(upid.notificationVector(),
+                        receiver.now() + 1);
+}
+
+void
+UarchSystem::tick()
+{
+    for (auto &core : cores_)
+        core->tick();
+}
+
+void
+UarchSystem::run(Cycles n)
+{
+    for (Cycles i = 0; i < n; ++i)
+        tick();
+}
+
+Cycles
+UarchSystem::now() const
+{
+    return cores_.empty() ? 0 : cores_[0]->now();
+}
+
+} // namespace xui

@@ -1,0 +1,257 @@
+#include "workloads/kernels.hh"
+
+namespace xui
+{
+
+namespace
+{
+
+/** Shared poll-flag address (stays L1-resident, as in Concord). */
+constexpr std::uint64_t kPollFlagAddr = 0x5000'0000ull;
+
+/**
+ * Append the back-edge instrumentation chosen by the options. Must
+ * be emitted *inside* the hot loop (immediately before the loop
+ * branch), as Concord instruments every loop back-edge.
+ */
+void
+emitBackEdgeInstr(ProgramBuilder &b, const KernelOptions &opts)
+{
+    switch (opts.instr) {
+      case Instrumentation::Polling: {
+        // Concord-style check: load the preemption flag and branch
+        // on it (virtually never taken).
+        AddrPattern flag;
+        flag.kind = AddrKind::Fixed;
+        flag.base = kPollFlagAddr;
+        b.load(reg::kGpr0 + 9, flag);
+        MacroOp br;
+        br.opcode = MacroOpcode::Branch;
+        br.src1 = reg::kGpr0 + 9;
+        br.target = 0;
+        br.branch.kind = BranchKind::Never;
+        b.append(br);
+        break;
+      }
+      case Instrumentation::Safepoint:
+        // Hardware safepoints are an instruction *prefix* (§4.4):
+        // they add no micro-ops. Mark the preceding instruction.
+        b.markSafepoint();
+        break;
+      case Instrumentation::None:
+        break;
+    }
+}
+
+/** Append the user interrupt handler region. */
+void
+emitHandler(ProgramBuilder &b, const KernelOptions &opts)
+{
+    if (!opts.withHandler)
+        return;
+    b.beginHandler();
+    // Handler body: acknowledge work / scheduler entry, modeled as
+    // a short serial ALU chain plus an independent pair.
+    for (unsigned i = 0; i < opts.handlerWork; ++i) {
+        b.intAlu(reg::kGpr0 + 12, reg::kGpr0 + 12,
+                 reg::kGpr0 + 13);
+    }
+    b.uiret();
+}
+
+} // namespace
+
+Program
+makeFib(const KernelOptions &opts)
+{
+    ProgramBuilder b("fib");
+    // r1, r2 hold the rolling pair; serial integer dependency chain.
+    std::uint32_t top = b.here();
+    for (unsigned i = 0; i < 4; ++i) {
+        b.intAlu(reg::kGpr0 + 1, reg::kGpr0 + 1, reg::kGpr0 + 2);
+        b.intAlu(reg::kGpr0 + 2, reg::kGpr0 + 1, reg::kGpr0 + 2);
+    }
+    // Inner loop: 64 trips, then restart (predictable except exits).
+    emitBackEdgeInstr(b, opts);
+    std::uint32_t back = b.loopBranch(top, 64);
+    (void)back;
+    b.jump(top);
+    emitHandler(b, opts);
+    return b.build();
+}
+
+Program
+makeLinpack(const KernelOptions &opts)
+{
+    ProgramBuilder b("linpack");
+    // daxpy: y[i] += a * x[i]; streaming FP with two loads, FMA
+    // chain and a store per iteration over a 1 MB vector pair.
+    constexpr std::uint64_t kVecBytes = 1ull << 20;
+    std::uint32_t top = b.here();
+    AddrPattern x;
+    x.kind = AddrKind::Stride;
+    x.base = 0x1000'0000ull;
+    x.stride = 8;
+    x.range = kVecBytes;
+    AddrPattern y = x;
+    y.base = 0x2000'0000ull;
+    b.load(reg::kFpr0 + 0, x);
+    b.load(reg::kFpr0 + 1, y);
+    b.fpMult(reg::kFpr0 + 2, reg::kFpr0 + 0, reg::kFpr0 + 7);
+    b.fpAlu(reg::kFpr0 + 3, reg::kFpr0 + 2, reg::kFpr0 + 1);
+    b.store(reg::kFpr0 + 3, y);
+    b.intAlu(reg::kGpr0 + 4, reg::kGpr0 + 4);  // index update
+    emitBackEdgeInstr(b, opts);
+    std::uint32_t back = b.loopBranch(top, 128);
+    (void)back;
+    b.jump(top);
+    emitHandler(b, opts);
+    return b.build();
+}
+
+Program
+makeMemops(const KernelOptions &opts)
+{
+    ProgramBuilder b("memops");
+    // memcpy-like: line-stride load + store over 4 MB buffers.
+    constexpr std::uint64_t kBufBytes = 4ull << 20;
+    std::uint32_t top = b.here();
+    AddrPattern src;
+    src.kind = AddrKind::Stride;
+    src.base = 0x3000'0000ull;
+    src.stride = 64;
+    src.range = kBufBytes;
+    AddrPattern dst = src;
+    dst.base = 0x4000'0000ull;
+    b.load(reg::kGpr0 + 1, src);
+    b.store(reg::kGpr0 + 1, dst);
+    b.load(reg::kGpr0 + 2, src);
+    b.store(reg::kGpr0 + 2, dst);
+    b.intAlu(reg::kGpr0 + 3, reg::kGpr0 + 3);
+    emitBackEdgeInstr(b, opts);
+    std::uint32_t back = b.loopBranch(top, 256);
+    (void)back;
+    b.jump(top);
+    emitHandler(b, opts);
+    return b.build();
+}
+
+Program
+makeMatmul(const KernelOptions &opts)
+{
+    ProgramBuilder b("matmul");
+    // Blocked inner kernel: L1-resident tile, dense FMA traffic.
+    constexpr std::uint64_t kTileBytes = 16 * 1024;
+    std::uint32_t top = b.here();
+    AddrPattern tile_a;
+    tile_a.kind = AddrKind::Stride;
+    tile_a.base = 0x1100'0000ull;
+    tile_a.stride = 8;
+    tile_a.range = kTileBytes;
+    AddrPattern tile_b = tile_a;
+    tile_b.base = 0x1200'0000ull;
+    tile_b.stride = 64;
+    b.load(reg::kFpr0 + 0, tile_a);
+    b.load(reg::kFpr0 + 1, tile_b);
+    b.fpMult(reg::kFpr0 + 2, reg::kFpr0 + 0, reg::kFpr0 + 1);
+    b.fpAlu(reg::kFpr0 + 3, reg::kFpr0 + 3, reg::kFpr0 + 2);
+    b.fpMult(reg::kFpr0 + 4, reg::kFpr0 + 0, reg::kFpr0 + 1);
+    b.fpAlu(reg::kFpr0 + 5, reg::kFpr0 + 5, reg::kFpr0 + 4);
+    emitBackEdgeInstr(b, opts);
+    std::uint32_t back = b.loopBranch(top, 32);
+    (void)back;
+    b.jump(top);
+    emitHandler(b, opts);
+    return b.build();
+}
+
+Program
+makeBase64(const KernelOptions &opts)
+{
+    ProgramBuilder b("base64");
+    // Table-lookup integer code: input load, 64-entry LUT lookups
+    // (L1 hits), shifts/masks, output store; short trip counts.
+    std::uint32_t top = b.here();
+    AddrPattern input;
+    input.kind = AddrKind::Stride;
+    input.base = 0x6000'0000ull;
+    input.stride = 8;
+    input.range = 1ull << 20;
+    AddrPattern lut;
+    lut.kind = AddrKind::Random;
+    lut.base = 0x6100'0000ull;
+    lut.range = 64;
+    AddrPattern output;
+    output.kind = AddrKind::Stride;
+    output.base = 0x6200'0000ull;
+    output.stride = 8;
+    output.range = 2ull << 20;
+    b.load(reg::kGpr0 + 1, input);
+    b.intAlu(reg::kGpr0 + 2, reg::kGpr0 + 1);  // shift
+    b.load(reg::kGpr0 + 3, lut, reg::kGpr0 + 2);
+    b.intAlu(reg::kGpr0 + 4, reg::kGpr0 + 1);  // shift
+    b.load(reg::kGpr0 + 5, lut, reg::kGpr0 + 4);
+    b.intAlu(reg::kGpr0 + 6, reg::kGpr0 + 3, reg::kGpr0 + 5);
+    b.store(reg::kGpr0 + 6, output);
+    emitBackEdgeInstr(b, opts);
+    std::uint32_t back = b.loopBranch(top, 16);
+    (void)back;
+    b.jump(top);
+    emitHandler(b, opts);
+    return b.build();
+}
+
+Program
+makePointerChase(unsigned chain_length,
+                 std::uint64_t working_set_bytes, bool feed_sp,
+                 const KernelOptions &opts)
+{
+    ProgramBuilder b("ptrchase");
+    std::uint32_t top = b.here();
+    AddrPattern chase;
+    chase.kind = AddrKind::Chase;
+    chase.base = 0x7000'0000ull;
+    chase.range = working_set_bytes;
+    // Serialized chain: each load's address register is the prior
+    // load's destination.
+    std::uint8_t r = reg::kGpr0 + 1;
+    for (unsigned i = 0; i < chain_length; ++i)
+        b.load(r, chase, r);
+    if (feed_sp) {
+        // §6.1 pathological case: the dependency chain ultimately
+        // produces the stack pointer the delivery microcode reads.
+        b.intAlu(reg::kSp, r);
+    }
+    b.jump(top);
+    emitHandler(b, opts);
+    return b.build();
+}
+
+Program
+makeSpinLoop(const KernelOptions &opts)
+{
+    ProgramBuilder b("spin");
+    std::uint32_t top = b.here();
+    b.rdtsc(reg::kGpr0 + 1);
+    b.intAlu(reg::kGpr0 + 2, reg::kGpr0 + 1);
+    b.jump(top);
+    emitHandler(b, opts);
+    return b.build();
+}
+
+Program
+makeSenderLoop(unsigned uitt_index)
+{
+    ProgramBuilder b("sender");
+    std::uint32_t top = b.here();
+    b.sendUipi(uitt_index);
+    b.intAlu(reg::kGpr0 + 1, reg::kGpr0 + 1);
+    b.jump(top);
+    // Senders also need a handler region in case anything routes
+    // back; never used in practice.
+    KernelOptions opts;
+    emitHandler(b, opts);
+    return b.build();
+}
+
+} // namespace xui

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic workload kernels for the cycle-level core, modeled after
+ * the benchmarks the paper uses: fib, linpack2, memops, matmul,
+ * base64, a pointer-chase probe and an rdtsc spin loop.
+ *
+ * Each builder returns a Program whose instruction mix, memory
+ * behaviour and branch behaviour mimic the hot loop of the real
+ * benchmark (e.g.\ linpack is an FP daxpy loop with streaming loads;
+ * base64 is table-lookup integer code with short-trip loops; the
+ * pointer chase is a serialized dependent-load chain over a sizable
+ * working set).
+ *
+ * Options append the paper's two kinds of preemption support:
+ *  - a minimal user interrupt handler (for UIPI/xUI experiments);
+ *  - Concord-style polling instrumentation (load + branch at loop
+ *    back-edges and "function" boundaries) for Figure 5;
+ *  - hardware safepoints at the same locations (§4.4).
+ */
+
+#ifndef XUI_WORKLOADS_KERNELS_HH
+#define XUI_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+
+#include "uarch/program.hh"
+
+namespace xui
+{
+
+/** How the main loop is instrumented for preemption. */
+enum class Instrumentation : std::uint8_t
+{
+    None,       ///< plain kernel
+    Polling,    ///< Concord-style poll check at loop back-edges
+    Safepoint,  ///< hardware safepoint instructions at back-edges
+};
+
+/** Configuration for kernel builders. */
+struct KernelOptions
+{
+    Instrumentation instr = Instrumentation::None;
+    /**
+     * Handler body length in ALU ops: ~4 models a bare
+     * acknowledge-and-return handler; larger values model a
+     * user-level context switch (Figure 5 / Aspen-style yield).
+     */
+    unsigned handlerWork = 4;
+    /** Attach the user interrupt handler region. */
+    bool withHandler = true;
+};
+
+/** Integer Fibonacci-like dependency chain with loop branches. */
+Program makeFib(const KernelOptions &opts = {});
+
+/** FP daxpy inner loop (linpack2): streaming loads + FMA chain. */
+Program makeLinpack(const KernelOptions &opts = {});
+
+/** memcpy-like load/store streaming kernel (memops). */
+Program makeMemops(const KernelOptions &opts = {});
+
+/** Blocked matrix-multiply inner kernel (matmul). */
+Program makeMatmul(const KernelOptions &opts = {});
+
+/** base64 encode: table-lookup loads + shifts, short loops. */
+Program makeBase64(const KernelOptions &opts = {});
+
+/**
+ * Pointer chase: `chainLength` serialized dependent loads over a
+ * working set of `workingSetBytes` (cache misses rise with size),
+ * ending with an op that feeds the stack pointer when
+ * `feedSp` is set — the paper's §6.1 pathological case.
+ */
+Program makePointerChase(unsigned chain_length,
+                         std::uint64_t working_set_bytes,
+                         bool feed_sp,
+                         const KernelOptions &opts = {});
+
+/** rdtsc spin loop — the Table 2 / Figure 2 receiver program. */
+Program makeSpinLoop(const KernelOptions &opts = {});
+
+/**
+ * Sender loop for Table 2: repeatedly executes senduipi to the
+ * given UITT index.
+ */
+Program makeSenderLoop(unsigned uitt_index);
+
+} // namespace xui
+
+#endif // XUI_WORKLOADS_KERNELS_HH

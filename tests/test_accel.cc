@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Accelerator tests: DSA device queueing and latency distribution,
+ * and the Fig. 9 client strategies (busy spin / periodic poll / xUI
+ * interrupts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/client.hh"
+#include "accel/dsa.hh"
+
+using namespace xui;
+
+TEST(DsaDevice, CompletionDeliveredOncePerDescriptor)
+{
+    Simulation sim(1);
+    CostModel costs;
+    DsaLatencyParams lat;
+    lat.meanServiceTime = usToCycles(2);
+    DsaDevice dev(sim, costs, lat);
+
+    std::vector<std::uint64_t> completed;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        DsaDescriptor d;
+        d.id = i;
+        EXPECT_TRUE(dev.submit(d, [&](const DsaCompletion &c) {
+            completed.push_back(c.id);
+        }));
+    }
+    sim.queue().runAll();
+    ASSERT_EQ(completed.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(completed[i], i);  // FIFO device
+    EXPECT_EQ(dev.completed(), 10u);
+}
+
+TEST(DsaDevice, RejectsWhenRingFull)
+{
+    Simulation sim(1);
+    CostModel costs;
+    DsaLatencyParams lat;
+    DsaDevice dev(sim, costs, lat, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(dev.submit(DsaDescriptor{}, nullptr));
+    EXPECT_FALSE(dev.submit(DsaDescriptor{}, nullptr));
+    EXPECT_EQ(dev.rejected(), 1u);
+}
+
+TEST(DsaDevice, LatencyIncludesPcieBothWays)
+{
+    Simulation sim(1);
+    CostModel costs;
+    DsaLatencyParams lat;
+    lat.meanServiceTime = usToCycles(2);
+    lat.noiseFraction = 0.0;
+    DsaDevice dev(sim, costs, lat);
+    Cycles visible = 0;
+    dev.submit(DsaDescriptor{}, [&](const DsaCompletion &c) {
+        visible = c.visibleAt;
+    });
+    sim.queue().runAll();
+    EXPECT_EQ(visible,
+              2 * costs.pcieLatency + usToCycles(2));
+}
+
+TEST(DsaDevice, NoiseBoundsServiceTime)
+{
+    Simulation sim(2);
+    CostModel costs;
+    DsaLatencyParams lat;
+    lat.meanServiceTime = usToCycles(20);
+    lat.noiseFraction = 0.5;
+    DsaDevice dev(sim, costs, lat);
+    double mean = static_cast<double>(lat.meanServiceTime);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        Cycles s = dev.drawServiceTime();
+        EXPECT_GE(static_cast<double>(s), mean * 0.5 - 1);
+        EXPECT_LE(static_cast<double>(s), mean * 1.5 + 1);
+        sum += static_cast<double>(s);
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.01);
+}
+
+TEST(DsaDevice, ZeroNoiseDeterministic)
+{
+    Simulation sim(3);
+    CostModel costs;
+    DsaLatencyParams lat;
+    lat.meanServiceTime = usToCycles(2);
+    DsaDevice dev(sim, costs, lat);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(dev.drawServiceTime(), usToCycles(2));
+}
+
+// ----------------------------------------------------------------------
+// Fig. 9 client strategies
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+DsaClientResult
+quickClient(WaitStrategy strategy, Cycles mean, double noise)
+{
+    DsaClientConfig cfg;
+    cfg.strategy = strategy;
+    cfg.latency.meanServiceTime = mean;
+    cfg.latency.noiseFraction = noise;
+    cfg.duration = 50 * kCyclesPerMs;
+    cfg.seed = 5;
+    return runDsaClient(cfg);
+}
+
+} // namespace
+
+TEST(DsaClient, BusySpinNoFreeCyclesMinLatency)
+{
+    DsaClientResult r =
+        quickClient(WaitStrategy::BusySpin, usToCycles(2), 0.0);
+    EXPECT_GT(r.offloads, 1000u);
+    EXPECT_LT(r.freeFrac, 0.05);
+    // Delivery latency ~ pollNotify.
+    CostModel costs;
+    EXPECT_LE(r.deliveryLatency.p50(),
+              static_cast<std::int64_t>(costs.pollNotify) + 2);
+}
+
+TEST(DsaClient, XuiFreesCyclesSameLatency)
+{
+    DsaClientResult spin =
+        quickClient(WaitStrategy::BusySpin, usToCycles(2), 0.0);
+    DsaClientResult xui =
+        quickClient(WaitStrategy::XuiInterrupt, usToCycles(2), 0.0);
+    // Paper: ~75% free for 2us offloads, latency within 0.2us.
+    EXPECT_GT(xui.freeFrac, 0.6);
+    double delta_us = cyclesToUs(static_cast<Cycles>(
+        std::abs(xui.deliveryLatency.p50() -
+                 spin.deliveryLatency.p50())));
+    EXPECT_LT(delta_us, 0.2);
+    // Same throughput class.
+    EXPECT_NEAR(xui.ipos / spin.ipos, 1.0, 0.05);
+}
+
+TEST(DsaClient, PeriodicPollLatencyGrowsWithNoise)
+{
+    DsaClientResult calm = quickClient(WaitStrategy::PeriodicPoll,
+                                       usToCycles(20), 0.0);
+    DsaClientResult noisy = quickClient(WaitStrategy::PeriodicPoll,
+                                        usToCycles(20), 0.4);
+    // Paper Fig. 9: for 20us requests the periodic-polling latency
+    // rises sharply as unpredictability grows.
+    EXPECT_GT(noisy.deliveryLatency.mean(),
+              2.0 * calm.deliveryLatency.mean() + 1.0);
+}
+
+TEST(DsaClient, XuiLatencyFlatUnderNoise)
+{
+    DsaClientResult calm = quickClient(WaitStrategy::XuiInterrupt,
+                                       usToCycles(20), 0.0);
+    DsaClientResult noisy = quickClient(WaitStrategy::XuiInterrupt,
+                                        usToCycles(20), 0.4);
+    EXPECT_NEAR(noisy.deliveryLatency.mean(),
+                calm.deliveryLatency.mean(), 5.0);
+}
+
+TEST(DsaClient, PeriodicPollFreesCyclesVsSpin)
+{
+    DsaClientResult spin =
+        quickClient(WaitStrategy::BusySpin, usToCycles(20), 0.0);
+    DsaClientResult poll =
+        quickClient(WaitStrategy::PeriodicPoll, usToCycles(20), 0.0);
+    EXPECT_GT(poll.freeFrac, spin.freeFrac + 0.3);
+}
+
+TEST(DsaClient, XuiBestEfficiency)
+{
+    DsaClientResult poll =
+        quickClient(WaitStrategy::PeriodicPoll, usToCycles(2), 0.0);
+    DsaClientResult xui =
+        quickClient(WaitStrategy::XuiInterrupt, usToCycles(2), 0.0);
+    EXPECT_GT(xui.freeFrac, poll.freeFrac);
+}
+
+TEST(DsaClient, ThroughputScalesWithOffloadTime)
+{
+    DsaClientResult fast =
+        quickClient(WaitStrategy::XuiInterrupt, usToCycles(2), 0.0);
+    DsaClientResult slow =
+        quickClient(WaitStrategy::XuiInterrupt, usToCycles(20), 0.0);
+    EXPECT_GT(fast.ipos, 3.0 * slow.ipos);
+    // 20us offloads land near the paper's 50K IPOS figure.
+    EXPECT_NEAR(slow.ipos, 45000.0, 10000.0);
+}

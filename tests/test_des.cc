@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, tie-breaking,
+ * cancellation, time advancement and the periodic-event helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hh"
+#include "des/simulation.hh"
+
+using namespace xui;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, StableTieBreak)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAt(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    EventQueue q;
+    Cycles seen = 0;
+    q.scheduleAt(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.now(); });
+    });
+    q.runAll();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFalse)
+{
+    EventQueue q;
+    EventId id = q.scheduleAt(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFalse)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(kInvalidEventId));
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, PendingCountsLiveOnly)
+{
+    EventQueue q;
+    EventId a = q.scheduleAt(1, [] {});
+    q.scheduleAt(2, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runAll();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.scheduleAt(10, [&] { ++count; });
+    q.scheduleAt(20, [&] { ++count; });
+    q.scheduleAt(30, [&] { ++count; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    q.runAll();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenEmpty)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recur = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(10, recur);
+    };
+    q.scheduleAt(0, recur);
+    q.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(Simulation, MakeRngIndependent)
+{
+    Simulation sim(77);
+    Rng a = sim.makeRng();
+    Rng b = sim.makeRng();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Simulation, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Simulation sim(123);
+        Rng r = sim.makeRng();
+        std::vector<std::uint64_t> vals;
+        for (int i = 0; i < 10; ++i)
+            vals.push_back(r.next());
+        return vals;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(PeriodicEvent, FiresAtPeriod)
+{
+    EventQueue q;
+    std::vector<Cycles> fires;
+    PeriodicEvent p(q, 100, [&] {
+        fires.push_back(q.now());
+        return fires.size() < 4;
+    });
+    p.start(50);
+    q.runAll();
+    EXPECT_EQ(fires,
+              (std::vector<Cycles>{50, 150, 250, 350}));
+}
+
+TEST(PeriodicEvent, StopCancels)
+{
+    EventQueue q;
+    int count = 0;
+    PeriodicEvent p(q, 10, [&] {
+        ++count;
+        return true;
+    });
+    p.start(10);
+    q.runUntil(35);
+    EXPECT_EQ(count, 3);
+    p.stop();
+    q.runUntil(1000);
+    EXPECT_EQ(count, 3);
+    EXPECT_FALSE(p.running());
+}
+
+TEST(PeriodicEvent, CallbackFalseStops)
+{
+    EventQueue q;
+    int count = 0;
+    PeriodicEvent p(q, 10, [&] {
+        ++count;
+        return false;
+    });
+    p.startAfterPeriod();
+    q.runAll();
+    EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicEvent, SetPeriodAppliesNextCycle)
+{
+    EventQueue q;
+    std::vector<Cycles> fires;
+    PeriodicEvent p(q, 10, [&] {
+        fires.push_back(q.now());
+        return fires.size() < 3;
+    });
+    p.start(10);
+    q.runUntil(10);
+    // The firing at t=10 already rescheduled itself for t=20 with
+    // the old period; the new period applies from then on.
+    p.setPeriod(100);
+    q.runAll();
+    ASSERT_EQ(fires.size(), 3u);
+    EXPECT_EQ(fires[1], 20u);
+    EXPECT_EQ(fires[2], 120u);
+}
+
+TEST(PeriodicEvent, DestructorCancels)
+{
+    EventQueue q;
+    int count = 0;
+    {
+        PeriodicEvent p(q, 10, [&] {
+            ++count;
+            return true;
+        });
+        p.start(10);
+    }
+    q.runUntil(100);
+    EXPECT_EQ(count, 0);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cross-tier integration tests: the calibration bridge, and
+ * miniature versions of the paper's headline comparisons asserting
+ * the qualitative shape of each figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hh"
+#include "core/xui.hh"
+
+using namespace xui;
+
+namespace
+{
+
+/** Shared quick calibration (expensive; computed once). */
+const CalibrationResult &
+calib()
+{
+    static CalibrationResult c = calibrateFromCycleSim(true);
+    return c;
+}
+
+} // namespace
+
+TEST(Calibration, ProducesPlausibleTable2)
+{
+    const auto &c = calib();
+    // senduipi in the hundreds of cycles (paper: 383).
+    EXPECT_GT(c.senduipiCost, 150.0);
+    EXPECT_LT(c.senduipiCost, 900.0);
+    // End-to-end latency near the paper's 1360 (order of magnitude).
+    EXPECT_GT(c.endToEndLatency, 500.0);
+    EXPECT_LT(c.endToEndLatency, 3000.0);
+    // The IPI wire hop (ICR execute -> receiver APIC) is modest.
+    EXPECT_GT(c.ipiArrival, 20.0);
+    EXPECT_LT(c.ipiArrival, 200.0);
+    // uiret is cheap (paper: ~10).
+    EXPECT_LT(c.uiretCost, 80.0);
+}
+
+TEST(Calibration, MechanismOrderingMatchesPaper)
+{
+    const auto &c = calib();
+    // Fig. 4 ordering: flush-UIPI > tracked-UIPI > KB-timer.
+    EXPECT_GT(c.receiverCostFlush, c.receiverCostTracked);
+    EXPECT_GE(c.receiverCostTracked, c.receiverCostKbTimer);
+    EXPECT_GT(c.receiverCostFlush, 200.0);
+}
+
+TEST(Calibration, CostModelMergeUsesMeasurements)
+{
+    const auto &c = calib();
+    CostModel m = makeCalibratedCostModel(c);
+    EXPECT_EQ(m.uipiFlushReceive,
+              static_cast<Cycles>(c.receiverCostFlush + 0.5));
+    // Untouched fields keep paper defaults.
+    CostModel defaults;
+    EXPECT_EQ(m.signalReceive, defaults.signalReceive);
+    EXPECT_EQ(m.contextSwitch, defaults.contextSwitch);
+}
+
+TEST(Integration, Fig4ShapeReceiverOverheads)
+{
+    // Per-event receiver cost ordering on a real workload kernel,
+    // cycle tier, 5us interval: UIPI(flush) most expensive, then
+    // tracked, then KB timer (paper: 645 / 231 / 105).
+    const auto &c = calib();
+    EXPECT_GT(c.receiverCostFlush,
+              1.5 * std::max(c.receiverCostTracked, 1.0));
+}
+
+TEST(Integration, Fig6ShapeTimerCore)
+{
+    CostModel costs;
+    double setitimer_util, xui_util;
+    {
+        Simulation sim(1);
+        TimerCoreModel m(sim, costs, TimerInterface::Setitimer,
+                         usToCycles(5), 8);
+        m.run(50 * kCyclesPerMs);
+        setitimer_util = m.utilization();
+    }
+    {
+        Simulation sim(1);
+        TimerCoreModel m(sim, costs, TimerInterface::XuiKbTimer,
+                         usToCycles(5), 8);
+        m.run(50 * kCyclesPerMs);
+        xui_util = m.utilization();
+    }
+    EXPECT_GT(setitimer_util, 0.5);
+    EXPECT_DOUBLE_EQ(xui_util, 0.0);
+}
+
+TEST(Integration, Fig7ShapeRocksDb)
+{
+    auto run = [](PreemptMode mode) {
+        KvServerConfig cfg;
+        cfg.mode = mode;
+        cfg.offeredLoadRps = 80000.0;
+        cfg.duration = 80 * kCyclesPerMs;
+        cfg.seed = 7;
+        return runKvServer(cfg);
+    };
+    KvServerResult none = run(PreemptMode::None);
+    KvServerResult uipi = run(PreemptMode::UipiSwTimer);
+    KvServerResult xui = run(PreemptMode::XuiKbTimer);
+
+    // Preemption rescues the GET tail; xUI at least as good as UIPI.
+    EXPECT_LT(uipi.getLatency.p99(), none.getLatency.p99());
+    EXPECT_LE(xui.getLatency.p99(), uipi.getLatency.p99());
+    // And only UIPI needs the timer core.
+    EXPECT_GT(uipi.timerCoreUtilization, 0.0);
+    EXPECT_DOUBLE_EQ(xui.timerCoreUtilization, 0.0);
+}
+
+TEST(Integration, Fig8ShapeL3Fwd)
+{
+    auto run = [](RxMode mode) {
+        L3FwdConfig cfg;
+        cfg.mode = mode;
+        cfg.load = 0.4;
+        cfg.duration = 20 * kCyclesPerMs;
+        cfg.routeCount = 2000;
+        cfg.seed = 8;
+        return runL3Fwd(cfg);
+    };
+    L3FwdResult poll = run(RxMode::Polling);
+    L3FwdResult xui = run(RxMode::XuiForwarded);
+    EXPECT_DOUBLE_EQ(poll.freeFrac, 0.0);
+    EXPECT_GT(xui.freeFrac, 0.3);
+    EXPECT_NEAR(xui.throughputMpps / poll.throughputMpps, 1.0,
+                0.02);
+}
+
+TEST(Integration, Fig9ShapeDsa)
+{
+    auto run = [](WaitStrategy s, double noise) {
+        DsaClientConfig cfg;
+        cfg.strategy = s;
+        cfg.latency.meanServiceTime = usToCycles(20);
+        cfg.latency.noiseFraction = noise;
+        cfg.duration = 40 * kCyclesPerMs;
+        cfg.seed = 9;
+        return runDsaClient(cfg);
+    };
+    DsaClientResult spin = run(WaitStrategy::BusySpin, 0.3);
+    DsaClientResult poll = run(WaitStrategy::PeriodicPoll, 0.3);
+    DsaClientResult xui = run(WaitStrategy::XuiInterrupt, 0.3);
+
+    // Efficiency: xUI > periodic poll > spin.
+    EXPECT_GT(xui.freeFrac, poll.freeFrac);
+    EXPECT_GT(poll.freeFrac, spin.freeFrac);
+    // Responsiveness: xUI ~ spin, periodic poll worse under noise.
+    EXPECT_LT(xui.deliveryLatency.mean(),
+              poll.deliveryLatency.mean());
+    double xui_vs_spin_us = cyclesToUs(static_cast<Cycles>(
+        std::abs(xui.deliveryLatency.mean() -
+                 spin.deliveryLatency.mean())));
+    EXPECT_LT(xui_vs_spin_us, 0.2);
+}
+
+TEST(Integration, SafepointPreemptionCheaperThanPolling)
+{
+    // Fig. 5 shape on the cycle tier: polling instrumentation slows
+    // the program even with no interrupts; safepoints are free.
+    KernelOptions plain;
+    KernelOptions polling;
+    polling.instr = Instrumentation::Polling;
+    KernelOptions safepoint;
+    safepoint.instr = Instrumentation::Safepoint;
+
+    auto cycles_for = [](Program prog) {
+        UarchSystem sys(3);
+        OooCore &core = sys.addCore(CoreParams{}, &prog);
+        return core.runUntilCommitted(60000, 60000000);
+    };
+    Cycles base = cycles_for(makeBase64(plain));
+    Cycles polled = cycles_for(makeBase64(polling));
+    Cycles safep = cycles_for(makeBase64(safepoint));
+
+    EXPECT_GT(polled, base + base / 50);  // >2% instrumentation tax
+    EXPECT_NEAR(static_cast<double>(safep),
+                static_cast<double>(base),
+                static_cast<double>(base) * 0.01);
+}

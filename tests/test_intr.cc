@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests for the architectural interrupt state: Bitset256, UPID bit
+ * layout (Table 1), UITT routing, KB-timer state machine (§4.3) and
+ * the interrupt-forwarding registers (§4.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "intr/bitset256.hh"
+#include "intr/forwarding.hh"
+#include "intr/kb_timer.hh"
+#include "intr/uitt.hh"
+#include "intr/upid.hh"
+
+using namespace xui;
+
+// ----------------------------------------------------------------------
+// Bitset256
+// ----------------------------------------------------------------------
+
+TEST(Bitset256, SetTestClear)
+{
+    Bitset256 b;
+    EXPECT_FALSE(b.any());
+    b.set(0);
+    b.set(63);
+    b.set(64);
+    b.set(255);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(63));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(255));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_EQ(b.count(), 4u);
+    b.clear(63);
+    EXPECT_FALSE(b.test(63));
+    EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset256, FindFirstAndHighest)
+{
+    Bitset256 b;
+    EXPECT_EQ(b.findFirst(), 256u);
+    EXPECT_EQ(b.findHighest(), 256u);
+    b.set(100);
+    b.set(7);
+    b.set(200);
+    EXPECT_EQ(b.findFirst(), 7u);
+    EXPECT_EQ(b.findHighest(), 200u);
+}
+
+TEST(Bitset256, AndOr)
+{
+    Bitset256 a, b;
+    a.set(3);
+    a.set(100);
+    b.set(100);
+    b.set(200);
+    Bitset256 i = a & b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(100));
+    Bitset256 u = a | b;
+    EXPECT_EQ(u.count(), 3u);
+}
+
+TEST(Bitset256, ClearAll)
+{
+    Bitset256 b;
+    for (unsigned i = 0; i < 256; i += 17)
+        b.set(i);
+    b.clearAll();
+    EXPECT_FALSE(b.any());
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset256, WordLayout)
+{
+    Bitset256 b;
+    b.set(1);
+    EXPECT_EQ(b.word(0), 2ull);
+    b.set(65);
+    EXPECT_EQ(b.word(1), 2ull);
+}
+
+// ----------------------------------------------------------------------
+// UPID (Table 1 bit layout)
+// ----------------------------------------------------------------------
+
+TEST(Upid, Table1BitLayout)
+{
+    Upid u;
+    u.setOutstanding(true);
+    EXPECT_EQ(u.rawLow() & 1ull, 1ull);          // bit 0
+    u.setSuppressed(true);
+    EXPECT_EQ(u.rawLow() & 2ull, 2ull);          // bit 1
+    u.setNotificationVector(0xec);
+    EXPECT_EQ((u.rawLow() >> 16) & 0xff, 0xecull);  // bits 23:16
+    u.setDestination(0x12345678);
+    EXPECT_EQ(u.rawLow() >> 32, 0x12345678ull);  // bits 63:32
+    // Fields do not clobber each other.
+    EXPECT_TRUE(u.outstanding());
+    EXPECT_TRUE(u.suppressed());
+    EXPECT_EQ(u.notificationVector(), 0xec);
+    EXPECT_EQ(u.destination(), 0x12345678u);
+}
+
+TEST(Upid, PostSetsPirBit)
+{
+    Upid u;
+    auto r = u.post(5);
+    EXPECT_TRUE(r.posted);
+    EXPECT_TRUE(r.sendIpi);
+    EXPECT_EQ(u.pir(), 1ull << 5);
+    EXPECT_TRUE(u.outstanding());
+}
+
+TEST(Upid, SecondPostNoIpiWhileOutstanding)
+{
+    Upid u;
+    EXPECT_TRUE(u.post(1).sendIpi);
+    EXPECT_FALSE(u.post(2).sendIpi);  // ON already set
+    EXPECT_EQ(u.pir(), 0b110ull);
+}
+
+TEST(Upid, SuppressedPostNoIpi)
+{
+    Upid u;
+    u.setSuppressed(true);
+    auto r = u.post(3);
+    EXPECT_TRUE(r.posted);
+    EXPECT_FALSE(r.sendIpi);
+    EXPECT_FALSE(u.outstanding());
+    EXPECT_TRUE(u.hasPending());
+}
+
+TEST(Upid, FetchAndClearPir)
+{
+    Upid u;
+    u.post(0);
+    u.post(63);
+    std::uint64_t pir = u.fetchAndClearPir();
+    EXPECT_EQ(pir, (1ull << 0) | (1ull << 63));
+    EXPECT_FALSE(u.hasPending());
+    EXPECT_EQ(u.pir(), 0ull);
+}
+
+TEST(Upid, IpiResumesAfterClear)
+{
+    Upid u;
+    u.post(1);
+    u.fetchAndClearPir();
+    u.clearOutstanding();
+    EXPECT_TRUE(u.post(2).sendIpi);
+}
+
+// ----------------------------------------------------------------------
+// UITT
+// ----------------------------------------------------------------------
+
+TEST(Uitt, AllocateLookupRelease)
+{
+    Upid upid;
+    Uitt uitt(8);
+    int idx = uitt.allocate(&upid, 9);
+    ASSERT_GE(idx, 0);
+    const UittEntry *e = uitt.lookup(idx);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->upid, &upid);
+    EXPECT_EQ(e->userVector, 9);
+    uitt.release(idx);
+    EXPECT_EQ(uitt.lookup(idx), nullptr);
+    EXPECT_EQ(uitt.validCount(), 0u);
+}
+
+TEST(Uitt, CapacityExhaustion)
+{
+    Upid upid;
+    Uitt uitt(2);
+    EXPECT_GE(uitt.allocate(&upid, 0), 0);
+    EXPECT_GE(uitt.allocate(&upid, 1), 0);
+    EXPECT_EQ(uitt.allocate(&upid, 2), -1);
+    uitt.release(0);
+    EXPECT_EQ(uitt.allocate(&upid, 3), 0);  // slot reuse
+}
+
+TEST(Uitt, LookupOutOfRange)
+{
+    Uitt uitt(4);
+    EXPECT_EQ(uitt.lookup(-1), nullptr);
+    EXPECT_EQ(uitt.lookup(100), nullptr);
+    EXPECT_EQ(uitt.lookup(0), nullptr);  // unallocated
+}
+
+// ----------------------------------------------------------------------
+// KB timer (§4.3)
+// ----------------------------------------------------------------------
+
+TEST(KbTimer, DisabledRejectsSetTimer)
+{
+    KbTimer t;
+    EXPECT_FALSE(t.setTimer(0, 100, KbTimerMode::OneShot));
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(KbTimer, OneShotDeadlineSemantics)
+{
+    KbTimer t;
+    t.configure(true, 0x21);
+    // One-shot: the operand is an absolute deadline (§4.3).
+    EXPECT_TRUE(t.setTimer(1000, 5000, KbTimerMode::OneShot));
+    EXPECT_FALSE(t.expired(4999));
+    EXPECT_TRUE(t.expired(5000));
+    t.acknowledge();
+    EXPECT_FALSE(t.armed());
+    EXPECT_FALSE(t.expired(10000));
+}
+
+TEST(KbTimer, PeriodicSemantics)
+{
+    KbTimer t;
+    t.configure(true, 0x21);
+    EXPECT_TRUE(t.setTimer(1000, 500, KbTimerMode::Periodic));
+    EXPECT_FALSE(t.expired(1499));
+    EXPECT_TRUE(t.expired(1500));
+    t.acknowledge();
+    EXPECT_TRUE(t.armed());
+    EXPECT_FALSE(t.expired(1999));
+    EXPECT_TRUE(t.expired(2000));
+}
+
+TEST(KbTimer, ClearTimerDisarms)
+{
+    KbTimer t;
+    t.configure(true, 1);
+    t.setTimer(0, 100, KbTimerMode::Periodic);
+    t.clearTimer();
+    EXPECT_FALSE(t.expired(1000));
+}
+
+TEST(KbTimer, DisableDisarms)
+{
+    KbTimer t;
+    t.configure(true, 1);
+    t.setTimer(0, 100, KbTimerMode::Periodic);
+    t.configure(false, 0);
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(KbTimer, SaveAndRestoreRoundTrip)
+{
+    KbTimer t;
+    t.configure(true, 0x33);
+    t.setTimer(0, 400, KbTimerMode::Periodic);
+    KbTimerSave save = t.saveAndDisarm();
+    EXPECT_FALSE(t.armed());  // will not fire for the next thread
+    EXPECT_TRUE(save.armed);
+    EXPECT_EQ(save.period, 400u);
+    EXPECT_EQ(save.vector, 0x33);
+
+    // Restore before the deadline: no missed firing.
+    EXPECT_FALSE(t.restore(save, 100));
+    EXPECT_TRUE(t.armed());
+    EXPECT_TRUE(t.expired(400));
+}
+
+TEST(KbTimer, RestoreAfterDeadlineReportsMissed)
+{
+    KbTimer t;
+    t.configure(true, 2);
+    t.setTimer(0, 300, KbTimerMode::Periodic);
+    KbTimerSave save = t.saveAndDisarm();
+    // Thread rescheduled long after the deadline passed.
+    EXPECT_TRUE(t.restore(save, 1000));
+    // Periodic deadline realigned past `now`.
+    EXPECT_FALSE(t.expired(1000));
+    EXPECT_TRUE(t.expired(1200));
+}
+
+TEST(KbTimer, RestoreMissedOneShotDisarms)
+{
+    KbTimer t;
+    t.configure(true, 2);
+    t.setTimer(0, 500, KbTimerMode::OneShot);
+    KbTimerSave save = t.saveAndDisarm();
+    EXPECT_TRUE(t.restore(save, 600));
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(KbTimer, RestoreUnarmedNoFire)
+{
+    KbTimer t;
+    t.configure(true, 2);
+    KbTimerSave save;  // never armed
+    EXPECT_FALSE(t.restore(save, 100));
+    EXPECT_FALSE(t.armed());
+}
+
+// ----------------------------------------------------------------------
+// Interrupt forwarding (§4.5)
+// ----------------------------------------------------------------------
+
+TEST(Forwarding, NotEnabledNotForwarded)
+{
+    ForwardingUnit f;
+    EXPECT_EQ(f.onInterrupt(8), ForwardOutcome::NotForwarded);
+    EXPECT_FALSE(f.uirr().any());
+}
+
+TEST(Forwarding, FastPathWhenActive)
+{
+    ForwardingUnit f;
+    f.enableVector(8);
+    Bitset256 mask;
+    mask.set(8);
+    f.setActiveMask(mask);
+    EXPECT_EQ(f.onInterrupt(8), ForwardOutcome::FastPath);
+    EXPECT_TRUE(f.uirr().test(8));
+}
+
+TEST(Forwarding, SlowPathWhenOwnerNotRunning)
+{
+    ForwardingUnit f;
+    f.enableVector(8);
+    // forwarded_active does not contain 8: slow path.
+    EXPECT_EQ(f.onInterrupt(8), ForwardOutcome::SlowPath);
+    EXPECT_TRUE(f.uirr().test(8));
+}
+
+TEST(Forwarding, TakeHighestUirrPriority)
+{
+    ForwardingUnit f;
+    f.enableVector(8);
+    f.enableVector(200);
+    f.onInterrupt(8);
+    f.onInterrupt(200);
+    EXPECT_EQ(f.takeHighestUirr(), 200u);
+    EXPECT_EQ(f.takeHighestUirr(), 8u);
+    EXPECT_EQ(f.takeHighestUirr(), 256u);
+}
+
+TEST(Forwarding, DisableStopsForwarding)
+{
+    ForwardingUnit f;
+    f.enableVector(5);
+    f.disableVector(5);
+    EXPECT_EQ(f.onInterrupt(5), ForwardOutcome::NotForwarded);
+}
+
+TEST(Forwarding, ContextSwitchChangesPath)
+{
+    ForwardingUnit f;
+    f.enableVector(9);
+    Bitset256 thread_a;
+    thread_a.set(9);
+    f.setActiveMask(thread_a);
+    EXPECT_EQ(f.onInterrupt(9), ForwardOutcome::FastPath);
+    // Thread A descheduled; B owns nothing.
+    f.setActiveMask(Bitset256{});
+    EXPECT_EQ(f.onInterrupt(9), ForwardOutcome::SlowPath);
+}
+
+TEST(Dupid, ParkAndDrain)
+{
+    Dupid d;
+    EXPECT_FALSE(d.hasPending());
+    d.post(8);
+    d.post(100);
+    EXPECT_TRUE(d.hasPending());
+    Bitset256 got = d.fetchAndClear();
+    EXPECT_TRUE(got.test(8));
+    EXPECT_TRUE(got.test(100));
+    EXPECT_FALSE(d.hasPending());
+}

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Network tests: descriptor ring, DIR-24-8 LPM against a
+ * linear-scan oracle (property tests), traffic generation, NIC
+ * interrupt semantics, and the Fig. 8 l3fwd shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/l3fwd.hh"
+#include "net/lpm.hh"
+#include "net/packet.hh"
+#include "net/ring.hh"
+#include "net/traffic.hh"
+#include "stats/rng.hh"
+
+using namespace xui;
+
+// ----------------------------------------------------------------------
+// DescRing
+// ----------------------------------------------------------------------
+
+TEST(DescRing, FifoOrder)
+{
+    DescRing<int> r(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(r.push(i));
+    int v;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(r.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(r.pop(v));
+}
+
+TEST(DescRing, FullRejects)
+{
+    DescRing<int> r(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(r.push(i));
+    EXPECT_TRUE(r.full());
+    EXPECT_FALSE(r.push(99));
+    int v;
+    r.pop(v);
+    EXPECT_TRUE(r.push(99));
+}
+
+TEST(DescRing, WrapsAround)
+{
+    DescRing<int> r(4);
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(r.push(round * 10 + i));
+        int v;
+        for (int i = 0; i < 3; ++i) {
+            ASSERT_TRUE(r.pop(v));
+            EXPECT_EQ(v, round * 10 + i);
+        }
+    }
+}
+
+TEST(DescRing, SizeTracksOccupancy)
+{
+    DescRing<int> r(8);
+    EXPECT_EQ(r.size(), 0u);
+    r.push(1);
+    r.push(2);
+    EXPECT_EQ(r.size(), 2u);
+    int v;
+    r.pop(v);
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.front(), 2);
+}
+
+// ----------------------------------------------------------------------
+// LPM (DIR-24-8)
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+std::uint32_t
+ip(unsigned a, unsigned b, unsigned c, unsigned d)
+{
+    return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+/** Linear-scan longest-prefix oracle. */
+LpmTable::NextHop
+oracleLookup(const std::vector<RouteSpec> &routes, std::uint32_t addr)
+{
+    int best_depth = -1;
+    LpmTable::NextHop best = LpmTable::kNoRoute;
+    for (const auto &r : routes) {
+        std::uint32_t mask = r.depth == 32
+            ? 0xffffffffu
+            : ~(0xffffffffu >> r.depth);
+        if ((addr & mask) == r.prefix &&
+            static_cast<int>(r.depth) > best_depth) {
+            best_depth = static_cast<int>(r.depth);
+            best = r.nextHop;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+TEST(Lpm, MissReturnsNoRoute)
+{
+    LpmTable t;
+    EXPECT_EQ(t.lookup(ip(1, 2, 3, 4)), LpmTable::kNoRoute);
+}
+
+TEST(Lpm, ShallowRouteMatchesWholeRange)
+{
+    LpmTable t;
+    ASSERT_TRUE(t.addRoute(ip(10, 0, 0, 0), 8, 7));
+    EXPECT_EQ(t.lookup(ip(10, 0, 0, 1)), 7);
+    EXPECT_EQ(t.lookup(ip(10, 255, 255, 255)), 7);
+    EXPECT_EQ(t.lookup(ip(11, 0, 0, 0)), LpmTable::kNoRoute);
+}
+
+TEST(Lpm, LongestPrefixWins)
+{
+    LpmTable t;
+    t.addRoute(ip(10, 0, 0, 0), 8, 1);
+    t.addRoute(ip(10, 1, 0, 0), 16, 2);
+    t.addRoute(ip(10, 1, 2, 0), 24, 3);
+    EXPECT_EQ(t.lookup(ip(10, 9, 9, 9)), 1);
+    EXPECT_EQ(t.lookup(ip(10, 1, 9, 9)), 2);
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 9)), 3);
+}
+
+TEST(Lpm, InsertionOrderIrrelevant)
+{
+    LpmTable a, b;
+    a.addRoute(ip(10, 0, 0, 0), 8, 1);
+    a.addRoute(ip(10, 1, 0, 0), 16, 2);
+    b.addRoute(ip(10, 1, 0, 0), 16, 2);
+    b.addRoute(ip(10, 0, 0, 0), 8, 1);
+    for (std::uint32_t probe :
+         {ip(10, 0, 5, 5), ip(10, 1, 5, 5), ip(10, 2, 0, 0)})
+        EXPECT_EQ(a.lookup(probe), b.lookup(probe));
+}
+
+TEST(Lpm, DeepRouteUsesTbl8)
+{
+    LpmTable t;
+    EXPECT_EQ(t.tbl8InUse(), 0u);
+    ASSERT_TRUE(t.addRoute(ip(10, 1, 2, 128), 25, 9));
+    EXPECT_EQ(t.tbl8InUse(), 1u);
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 129)), 9);
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 1)), LpmTable::kNoRoute);
+}
+
+TEST(Lpm, DeepRouteInheritsCoveringShallow)
+{
+    LpmTable t;
+    t.addRoute(ip(10, 1, 2, 0), 24, 4);
+    t.addRoute(ip(10, 1, 2, 128), 26, 5);
+    // /26 range hits 5, the remainder of the /24 still hits 4.
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 130)), 5);
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 1)), 4);
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 250)), 4);
+}
+
+TEST(Lpm, ShallowAfterDeepPropagatesIntoTbl8)
+{
+    LpmTable t;
+    t.addRoute(ip(10, 1, 2, 128), 26, 5);
+    t.addRoute(ip(10, 1, 2, 0), 24, 4);  // added after
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 130)), 5);  // deeper wins
+    EXPECT_EQ(t.lookup(ip(10, 1, 2, 1)), 4);
+}
+
+TEST(Lpm, HostRouteDepth32)
+{
+    LpmTable t;
+    t.addRoute(ip(192, 168, 1, 42), 32, 12);
+    EXPECT_EQ(t.lookup(ip(192, 168, 1, 42)), 12);
+    EXPECT_EQ(t.lookup(ip(192, 168, 1, 43)), LpmTable::kNoRoute);
+}
+
+TEST(Lpm, RejectsInvalidArguments)
+{
+    LpmTable t;
+    EXPECT_FALSE(t.addRoute(0, 0, 1));
+    EXPECT_FALSE(t.addRoute(0, 33, 1));
+    EXPECT_FALSE(t.addRoute(0, 8, 0x4000));  // next hop too large
+}
+
+TEST(Lpm, Tbl8Exhaustion)
+{
+    LpmTable t(2);
+    EXPECT_TRUE(t.addRoute(ip(1, 0, 0, 0), 25, 1));
+    EXPECT_TRUE(t.addRoute(ip(2, 0, 0, 0), 25, 2));
+    EXPECT_FALSE(t.addRoute(ip(3, 0, 0, 0), 25, 3));
+    // Reusing an existing group still works.
+    EXPECT_TRUE(t.addRoute(ip(1, 0, 0, 128), 26, 4));
+}
+
+class LpmOracleProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(LpmOracleProperty, MatchesLinearScanOracle)
+{
+    Rng rng(GetParam());
+    LpmTable table(512);
+    std::vector<RouteSpec> routes =
+        installRandomRoutes(table, 800, rng);
+    ASSERT_EQ(routes.size(), 800u);
+    ASSERT_EQ(table.routeCount(), 800u);
+
+    // Probe random addresses plus addresses aimed at the routes.
+    for (int i = 0; i < 3000; ++i) {
+        std::uint32_t addr = (i % 2 == 0)
+            ? static_cast<std::uint32_t>(rng.next())
+            : randomCoveredIp(routes, rng);
+        EXPECT_EQ(table.lookup(addr), oracleLookup(routes, addr))
+            << "addr=" << addr << " seed=" << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmOracleProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(Traffic, SixteenThousandRoutesInstall)
+{
+    Rng rng(123);
+    LpmTable table(512);
+    auto routes = installRandomRoutes(table, 16000, rng);
+    EXPECT_EQ(routes.size(), 16000u);
+    // Every generated packet address hits the table.
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t addr = randomCoveredIp(routes, rng);
+        EXPECT_NE(table.lookup(addr), LpmTable::kNoRoute);
+    }
+}
+
+// ----------------------------------------------------------------------
+// NIC
+// ----------------------------------------------------------------------
+
+TEST(Nic, DeliverAndPoll)
+{
+    Nic nic(4);
+    Packet p;
+    p.id = 1;
+    EXPECT_TRUE(nic.deliver(p));
+    Packet out;
+    EXPECT_TRUE(nic.poll(out));
+    EXPECT_EQ(out.id, 1u);
+    EXPECT_FALSE(nic.poll(out));
+}
+
+TEST(Nic, DropsWhenFull)
+{
+    Nic nic(2);
+    Packet p;
+    EXPECT_TRUE(nic.deliver(p));
+    EXPECT_TRUE(nic.deliver(p));
+    EXPECT_FALSE(nic.deliver(p));
+    EXPECT_EQ(nic.dropped(), 1u);
+    EXPECT_EQ(nic.received(), 2u);
+}
+
+TEST(Nic, InterruptOnEmptyToNonEmptyEdgeOnly)
+{
+    Nic nic(8);
+    int interrupts = 0;
+    nic.setInterruptHandler([&] { ++interrupts; });
+    nic.armInterrupt(true);
+    Packet p;
+    nic.deliver(p);
+    nic.deliver(p);  // queue already non-empty: no interrupt
+    EXPECT_EQ(interrupts, 1);
+    Packet out;
+    nic.poll(out);
+    nic.poll(out);
+    nic.deliver(p);  // empty -> non-empty again
+    EXPECT_EQ(interrupts, 2);
+}
+
+TEST(Nic, DisarmedNoInterrupt)
+{
+    Nic nic(8);
+    int interrupts = 0;
+    nic.setInterruptHandler([&] { ++interrupts; });
+    nic.armInterrupt(false);
+    Packet p;
+    nic.deliver(p);
+    EXPECT_EQ(interrupts, 0);
+}
+
+// ----------------------------------------------------------------------
+// l3fwd (Fig. 8 shape)
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+L3FwdResult
+quickL3(RxMode mode, double load, unsigned nics)
+{
+    L3FwdConfig cfg;
+    cfg.mode = mode;
+    cfg.load = load;
+    cfg.numNics = nics;
+    cfg.duration = 20 * kCyclesPerMs;
+    cfg.routeCount = 2000;  // keep the test fast
+    cfg.seed = 77;
+    return runL3Fwd(cfg);
+}
+
+} // namespace
+
+TEST(L3Fwd, ForwardsAllOfferedBelowSaturation)
+{
+    L3FwdResult r = quickL3(RxMode::Polling, 0.4, 1);
+    EXPECT_EQ(r.forwarded + r.dropped, r.offered);
+    EXPECT_EQ(r.dropped, 0u);
+}
+
+TEST(L3Fwd, PollingBurnsWholeCore)
+{
+    L3FwdResult r = quickL3(RxMode::Polling, 0.4, 1);
+    EXPECT_DOUBLE_EQ(r.freeFrac, 0.0);
+    EXPECT_NEAR(r.networkingFrac + r.pollingFrac, 1.0, 1e-9);
+    EXPECT_NEAR(r.networkingFrac, 0.4, 0.05);
+}
+
+TEST(L3Fwd, XuiFreesCycles)
+{
+    L3FwdResult r = quickL3(RxMode::XuiForwarded, 0.4, 1);
+    // Paper: ~45% free at 40% load with one queue.
+    EXPECT_GT(r.freeFrac, 0.3);
+    EXPECT_LT(r.freeFrac, 0.6);
+    EXPECT_GT(r.interrupts, 0u);
+}
+
+TEST(L3Fwd, XuiIdleFreesEverything)
+{
+    L3FwdResult r = quickL3(RxMode::XuiForwarded, 0.001, 1);
+    EXPECT_GT(r.freeFrac, 0.95);
+}
+
+TEST(L3Fwd, ThroughputMatchesPollingAtHighLoad)
+{
+    L3FwdResult poll = quickL3(RxMode::Polling, 0.9, 1);
+    L3FwdResult xui = quickL3(RxMode::XuiForwarded, 0.9, 1);
+    ASSERT_GT(poll.forwarded, 1000u);
+    double ratio = static_cast<double>(xui.forwarded) /
+        static_cast<double>(poll.forwarded);
+    // Paper: within 0.08%; allow simulation noise.
+    EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+TEST(L3Fwd, LatencyComparableToPolling)
+{
+    L3FwdResult poll = quickL3(RxMode::Polling, 0.4, 1);
+    L3FwdResult xui = quickL3(RxMode::XuiForwarded, 0.4, 1);
+    // p95 within a small factor (paper: +2% for 1 NIC).
+    EXPECT_LT(static_cast<double>(xui.latency.p95()),
+              1.5 * static_cast<double>(poll.latency.p95()));
+}
+
+TEST(L3Fwd, MwaitFreesCyclesWithOneQueueOnly)
+{
+    // §2: mwait can only monitor a single cache line, so its
+    // benefit disappears beyond one RX queue.
+    L3FwdResult one = quickL3(RxMode::MwaitSingleQueue, 0.4, 1);
+    EXPECT_GT(one.freeFrac, 0.5);
+    L3FwdResult two = quickL3(RxMode::MwaitSingleQueue, 0.4, 2);
+    EXPECT_DOUBLE_EQ(two.freeFrac, 0.0);
+}
+
+TEST(L3Fwd, MwaitSameThroughputAsPolling)
+{
+    L3FwdResult poll = quickL3(RxMode::Polling, 0.5, 1);
+    L3FwdResult mwait = quickL3(RxMode::MwaitSingleQueue, 0.5, 1);
+    double ratio = static_cast<double>(mwait.forwarded) /
+        static_cast<double>(poll.forwarded);
+    EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+TEST(L3Fwd, MwaitWakeSlowerThanPollDetect)
+{
+    L3FwdResult poll = quickL3(RxMode::Polling, 0.1, 1);
+    L3FwdResult mwait = quickL3(RxMode::MwaitSingleQueue, 0.1, 1);
+    // C-state exit costs more than a positive poll.
+    EXPECT_GE(mwait.latency.p50(), poll.latency.p50());
+}
+
+TEST(L3Fwd, MultiQueueStillConservesPackets)
+{
+    for (unsigned nics : {2u, 4u, 8u}) {
+        L3FwdResult r = quickL3(RxMode::XuiForwarded, 0.4, nics);
+        EXPECT_EQ(r.forwarded + r.dropped, r.offered)
+            << nics << " nics";
+        EXPECT_GT(r.freeFrac, 0.2) << nics << " nics";
+    }
+}

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Kernel-protocol tests: UIPI registration and SN/slow-path
+ * semantics across context switches, KB-timer multiplexing (§4.3),
+ * forwarding registration and DUPID parking (§4.5), and the Fig. 6
+ * timer-core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulation.hh"
+#include "os/kernel.hh"
+#include "os/timer_core.hh"
+
+using namespace xui;
+
+namespace
+{
+
+struct KernelFixture : public ::testing::Test
+{
+    Simulation sim{1};
+    CostModel costs;
+    Kernel kernel{sim, costs, 4};
+};
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Threads and scheduling
+// ----------------------------------------------------------------------
+
+TEST_F(KernelFixture, CreateAndSchedule)
+{
+    ThreadId t = kernel.createThread();
+    EXPECT_FALSE(kernel.isRunning(t));
+    Cycles cost = kernel.scheduleOn(t, 0);
+    EXPECT_EQ(cost, costs.contextSwitch);
+    EXPECT_TRUE(kernel.isRunning(t));
+    EXPECT_EQ(kernel.runningOn(0), t);
+}
+
+TEST_F(KernelFixture, DeschedulePreviousOccupant)
+{
+    ThreadId a = kernel.createThread();
+    ThreadId b = kernel.createThread();
+    kernel.scheduleOn(a, 0);
+    kernel.scheduleOn(b, 0);
+    EXPECT_FALSE(kernel.isRunning(a));
+    EXPECT_EQ(kernel.runningOn(0), b);
+}
+
+TEST_F(KernelFixture, DescheduleIdempotent)
+{
+    ThreadId t = kernel.createThread();
+    EXPECT_EQ(kernel.deschedule(t), 0u);
+    kernel.scheduleOn(t, 1);
+    EXPECT_EQ(kernel.deschedule(t), costs.contextSwitch);
+    EXPECT_EQ(kernel.runningOn(1), kNoThread);
+}
+
+// ----------------------------------------------------------------------
+// UIPI protocol (§3.2)
+// ----------------------------------------------------------------------
+
+TEST_F(KernelFixture, SenduipiFastPathInvokesHandler)
+{
+    ThreadId t = kernel.createThread();
+    std::vector<unsigned> got;
+    kernel.registerHandler(t, [&](unsigned v) { got.push_back(v); });
+    int route = kernel.registerSender(t, 7);
+    ASSERT_GE(route, 0);
+    kernel.scheduleOn(t, 0);
+    EXPECT_EQ(kernel.senduipi(route), DeliveryPath::Fast);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 7u);
+}
+
+TEST_F(KernelFixture, RegisterSenderWithoutHandlerFails)
+{
+    ThreadId t = kernel.createThread();
+    EXPECT_EQ(kernel.registerSender(t, 1), -1);
+}
+
+TEST_F(KernelFixture, DescheduledThreadSuppressedThenReposted)
+{
+    ThreadId t = kernel.createThread();
+    std::vector<unsigned> got;
+    kernel.registerHandler(t, [&](unsigned v) { got.push_back(v); });
+    int route = kernel.registerSender(t, 9);
+    kernel.scheduleOn(t, 0);
+    kernel.deschedule(t);
+
+    // SN is set: posts record the vector but do not notify.
+    EXPECT_EQ(kernel.senduipi(route), DeliveryPath::Suppressed);
+    EXPECT_EQ(kernel.senduipi(route), DeliveryPath::Suppressed);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(kernel.pendingReposts(t), 1u);  // one PIR bit
+
+    // Resume: the kernel reposts the captured interrupt.
+    Cycles cost = kernel.scheduleOn(t, 2);
+    EXPECT_GT(cost, costs.contextSwitch);  // includes the repost
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 9u);
+    EXPECT_EQ(kernel.pendingReposts(t), 0u);
+}
+
+TEST_F(KernelFixture, MultipleVectorsAllReposted)
+{
+    ThreadId t = kernel.createThread();
+    std::vector<unsigned> got;
+    kernel.registerHandler(t, [&](unsigned v) { got.push_back(v); });
+    int r1 = kernel.registerSender(t, 3);
+    int r2 = kernel.registerSender(t, 11);
+    kernel.senduipi(r1);
+    kernel.senduipi(r2);
+    kernel.scheduleOn(t, 0);
+    EXPECT_EQ(got.size(), 2u);
+}
+
+TEST_F(KernelFixture, SnClearedOnResume)
+{
+    ThreadId t = kernel.createThread();
+    kernel.registerHandler(t, [](unsigned) {});
+    int route = kernel.registerSender(t, 1);
+    kernel.scheduleOn(t, 0);
+    kernel.deschedule(t);
+    kernel.scheduleOn(t, 1);
+    // Running again: fast path works.
+    EXPECT_EQ(kernel.senduipi(route), DeliveryPath::Fast);
+}
+
+// ----------------------------------------------------------------------
+// KB timer multiplexing (§4.3)
+// ----------------------------------------------------------------------
+
+TEST_F(KernelFixture, TimerRequiresEnable)
+{
+    ThreadId t = kernel.createThread();
+    kernel.scheduleOn(t, 0);
+    EXPECT_FALSE(kernel.setTimer(t, 100, KbTimerMode::Periodic));
+    kernel.enableKbTimer(t, 0x21);
+    EXPECT_TRUE(kernel.setTimer(t, 100, KbTimerMode::Periodic));
+    EXPECT_TRUE(kernel.coreTimer(0).armed());
+}
+
+TEST_F(KernelFixture, PollFiresHandler)
+{
+    ThreadId t = kernel.createThread();
+    int fires = 0;
+    kernel.registerHandler(t, [&](unsigned) { ++fires; });
+    kernel.enableKbTimer(t, 0x21);
+    kernel.scheduleOn(t, 0);
+    kernel.setTimer(t, 100, KbTimerMode::Periodic);
+    EXPECT_FALSE(kernel.pollKbTimer(0, 50));
+    EXPECT_TRUE(kernel.pollKbTimer(0, 100));
+    EXPECT_EQ(fires, 1);
+    // Periodic: rearmed for the next period.
+    EXPECT_TRUE(kernel.pollKbTimer(0, 200));
+    EXPECT_EQ(fires, 2);
+}
+
+TEST_F(KernelFixture, TimerSavedAcrossContextSwitch)
+{
+    ThreadId a = kernel.createThread();
+    ThreadId b = kernel.createThread();
+    kernel.registerHandler(a, [](unsigned) {});
+    kernel.enableKbTimer(a, 0x21);
+    kernel.scheduleOn(a, 0);
+    kernel.setTimer(a, 1000, KbTimerMode::Periodic);
+
+    // Switch to b: a's timer must not fire for b.
+    kernel.scheduleOn(b, 0);
+    EXPECT_FALSE(kernel.coreTimer(0).armed());
+    EXPECT_FALSE(kernel.pollKbTimer(0, 5000));
+}
+
+TEST_F(KernelFixture, MissedDeadlineDeliveredOnResume)
+{
+    ThreadId a = kernel.createThread();
+    ThreadId b = kernel.createThread();
+    int fires = 0;
+    kernel.registerHandler(a, [&](unsigned) { ++fires; });
+    kernel.enableKbTimer(a, 0x21);
+    kernel.scheduleOn(a, 0);
+    kernel.setTimer(a, 100, KbTimerMode::Periodic);
+    kernel.scheduleOn(b, 0);  // a descheduled before the deadline
+
+    // Long after the deadline, resume a: missed firing delivered.
+    sim.runUntil(10000);
+    Cycles cost = kernel.scheduleOn(a, 0);
+    EXPECT_EQ(fires, 1);
+    EXPECT_GT(cost, costs.contextSwitch);
+    // And the periodic deadline was realigned into the future.
+    EXPECT_TRUE(kernel.coreTimer(0).armed());
+    EXPECT_FALSE(kernel.coreTimer(0).expired(sim.now()));
+}
+
+TEST_F(KernelFixture, TimerMigratesWithThreadAcrossCores)
+{
+    ThreadId t = kernel.createThread();
+    kernel.registerHandler(t, [](unsigned) {});
+    kernel.enableKbTimer(t, 0x21);
+    kernel.scheduleOn(t, 0);
+    kernel.setTimer(t, 500, KbTimerMode::Periodic);
+    kernel.deschedule(t);
+    kernel.scheduleOn(t, 3);  // resumes on a different core
+    EXPECT_TRUE(kernel.coreTimer(3).armed());
+    EXPECT_FALSE(kernel.coreTimer(0).armed());
+}
+
+// ----------------------------------------------------------------------
+// Interrupt forwarding (§4.5)
+// ----------------------------------------------------------------------
+
+TEST_F(KernelFixture, ForwardFastPathToRunningThread)
+{
+    ThreadId t = kernel.createThread();
+    std::vector<unsigned> got;
+    kernel.registerHandler(t, [&](unsigned v) { got.push_back(v); });
+    kernel.scheduleOn(t, 1);
+    int vec = kernel.registerForwarding(t, 1);
+    ASSERT_GE(vec, 64);
+    EXPECT_EQ(kernel.deviceInterrupt(1, static_cast<unsigned>(vec)),
+              DeliveryPath::Fast);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], static_cast<unsigned>(vec));
+}
+
+TEST_F(KernelFixture, ForwardSlowPathParksAndDrains)
+{
+    ThreadId t = kernel.createThread();
+    ThreadId other = kernel.createThread();
+    std::vector<unsigned> got;
+    kernel.registerHandler(t, [&](unsigned v) { got.push_back(v); });
+    kernel.scheduleOn(t, 1);
+    int vec = kernel.registerForwarding(t, 1);
+    ASSERT_GE(vec, 0);
+    kernel.scheduleOn(other, 1);  // t descheduled
+
+    EXPECT_EQ(kernel.deviceInterrupt(1, static_cast<unsigned>(vec)),
+              DeliveryPath::Deferred);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(kernel.pendingReposts(t), 1u);
+
+    kernel.scheduleOn(t, 2);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], static_cast<unsigned>(vec));
+}
+
+TEST_F(KernelFixture, UnforwardedVectorNotDelivered)
+{
+    ThreadId t = kernel.createThread();
+    int fires = 0;
+    kernel.registerHandler(t, [&](unsigned) { ++fires; });
+    kernel.scheduleOn(t, 0);
+    EXPECT_EQ(kernel.deviceInterrupt(0, 99), DeliveryPath::Deferred);
+    EXPECT_EQ(fires, 0);
+}
+
+TEST_F(KernelFixture, VectorSpaceLimitation)
+{
+    // §4.5: forwarding is constrained by the 256-vector space.
+    ThreadId t = kernel.createThread();
+    kernel.registerHandler(t, [](unsigned) {});
+    kernel.scheduleOn(t, 0);
+    int count = 0;
+    while (kernel.registerForwarding(t, 0) >= 0)
+        ++count;
+    EXPECT_GT(count, 100);
+    EXPECT_LE(count, 192);  // vectors 64..255
+}
+
+// ----------------------------------------------------------------------
+// Interval timers / signals (setitimer semantics)
+// ----------------------------------------------------------------------
+
+TEST_F(KernelFixture, IntervalTimerFiresPeriodically)
+{
+    ThreadId t = kernel.createThread();
+    std::vector<unsigned> sigs;
+    kernel.registerHandler(t, [&](unsigned s) { sigs.push_back(s); });
+    kernel.scheduleOn(t, 0);
+    int id = kernel.setInterval(t, 1000);
+    ASSERT_GE(id, 0);
+    sim.runUntil(5500);
+    EXPECT_EQ(sigs.size(), 5u);
+    EXPECT_EQ(sigs.front(), 14u);  // SIGALRM
+    EXPECT_EQ(kernel.signalsDelivered(), 5u);
+}
+
+TEST_F(KernelFixture, IntervalTimerCollapsesWhileDescheduled)
+{
+    ThreadId t = kernel.createThread();
+    int fires = 0;
+    kernel.registerHandler(t, [&](unsigned) { ++fires; });
+    kernel.scheduleOn(t, 0);
+    kernel.setInterval(t, 1000);
+    kernel.deschedule(t);
+    sim.runUntil(10500);  // ten firings while out
+    EXPECT_EQ(fires, 0);
+    Cycles cost = kernel.scheduleOn(t, 0);
+    // Exactly one pending SIGALRM delivered on resume.
+    EXPECT_EQ(fires, 1);
+    EXPECT_GT(cost, costs.contextSwitch);
+}
+
+TEST_F(KernelFixture, CancelIntervalStopsFiring)
+{
+    ThreadId t = kernel.createThread();
+    int fires = 0;
+    kernel.registerHandler(t, [&](unsigned) { ++fires; });
+    kernel.scheduleOn(t, 0);
+    int id = kernel.setInterval(t, 1000);
+    sim.runUntil(2500);
+    EXPECT_EQ(fires, 2);
+    kernel.cancelInterval(id);
+    sim.runUntil(10000);
+    EXPECT_EQ(fires, 2);
+}
+
+TEST_F(KernelFixture, InvalidIntervalRejected)
+{
+    ThreadId t = kernel.createThread();
+    EXPECT_EQ(kernel.setInterval(t, 0), -1);
+    kernel.cancelInterval(-1);   // no-op
+    kernel.cancelInterval(999);  // no-op
+}
+
+// ----------------------------------------------------------------------
+// Fig. 6 timer-core model
+// ----------------------------------------------------------------------
+
+TEST(TimerCore, XuiNeedsNoTimerCore)
+{
+    Simulation sim(1);
+    CostModel costs;
+    TimerCoreModel m(sim, costs, TimerInterface::XuiKbTimer,
+                     usToCycles(5), 8);
+    m.run(kCyclesPerMs * 100);
+    EXPECT_DOUBLE_EQ(m.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(m.achievedRateFraction(), 1.0);
+}
+
+TEST(TimerCore, UtilizationGrowsWithCores)
+{
+    Simulation sim(1);
+    CostModel costs;
+    double prev = 0.0;
+    for (unsigned cores : {1u, 4u, 8u, 16u}) {
+        Simulation s(1);
+        TimerCoreModel m(s, costs, TimerInterface::Setitimer,
+                         usToCycles(20), cores);
+        m.run(kCyclesPerMs * 50);
+        EXPECT_GT(m.utilization(), prev);
+        prev = m.utilization();
+    }
+}
+
+TEST(TimerCore, SetitimerCheaperThanNanosleep)
+{
+    Simulation s1(1), s2(1);
+    CostModel costs;
+    TimerCoreModel a(s1, costs, TimerInterface::Setitimer,
+                     usToCycles(20), 4);
+    TimerCoreModel b(s2, costs, TimerInterface::Nanosleep,
+                     usToCycles(20), 4);
+    a.run(kCyclesPerMs * 50);
+    b.run(kCyclesPerMs * 50);
+    EXPECT_LT(a.utilization(), b.utilization());
+}
+
+TEST(TimerCore, SaturationDropsAchievedRate)
+{
+    Simulation sim(1);
+    CostModel costs;
+    // 5us interval with 28 cores: work per interval exceeds the
+    // interval -> the timer core cannot keep up.
+    TimerCoreModel m(sim, costs, TimerInterface::Setitimer,
+                     usToCycles(5), 28);
+    m.run(kCyclesPerMs * 50);
+    EXPECT_DOUBLE_EQ(m.utilization(), 1.0);
+    EXPECT_LT(m.achievedRateFraction(), 0.9);
+}
+
+TEST(TimerCore, RdtscSpinBurnsWholeCore)
+{
+    Simulation sim(1);
+    CostModel costs;
+    TimerCoreModel m(sim, costs, TimerInterface::RdtscSpin,
+                     usToCycles(5), 2);
+    m.run(kCyclesPerMs * 10);
+    EXPECT_DOUBLE_EQ(m.utilization(), 1.0);
+    // But it keeps up (supports up to interval/senduipi cores).
+    EXPECT_GT(m.achievedRateFraction(), 0.9);
+}

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Property/fuzz tests of the out-of-order core: random programs and
+ * random interrupt pressure must preserve global pipeline
+ * invariants across many seeds. These are the "does the machine
+ * ever wedge, double-deliver, or lose an interrupt" checks that
+ * unit tests cannot cover.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hh"
+#include "uarch/uarch_system.hh"
+#include "workloads/kernels.hh"
+
+using namespace xui;
+
+namespace
+{
+
+/** Build a random but well-formed looping program. */
+Program
+randomProgram(std::uint64_t seed, bool with_safepoints)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzz");
+    std::uint32_t top = b.here();
+    unsigned body = 4 + static_cast<unsigned>(rng.nextBounded(24));
+    for (unsigned i = 0; i < body; ++i) {
+        switch (rng.nextBounded(6)) {
+          case 0:
+            b.intAlu(static_cast<std::uint8_t>(
+                         reg::kGpr0 + rng.nextBounded(8)),
+                     static_cast<std::uint8_t>(
+                         reg::kGpr0 + rng.nextBounded(8)));
+            break;
+          case 1:
+            b.intMult(static_cast<std::uint8_t>(
+                          reg::kGpr0 + rng.nextBounded(8)),
+                      static_cast<std::uint8_t>(
+                          reg::kGpr0 + rng.nextBounded(8)));
+            break;
+          case 2:
+            b.fpAlu(static_cast<std::uint8_t>(
+                        reg::kFpr0 + rng.nextBounded(8)),
+                    static_cast<std::uint8_t>(
+                        reg::kFpr0 + rng.nextBounded(8)));
+            break;
+          case 3: {
+            AddrPattern a;
+            a.kind = AddrKind::Random;
+            a.base = 0x1000'0000ull + (rng.next() & 0xff000);
+            a.range = 1ull << (10 + rng.nextBounded(12));
+            b.load(static_cast<std::uint8_t>(
+                       reg::kGpr0 + rng.nextBounded(8)),
+                   a);
+            break;
+          }
+          case 4: {
+            AddrPattern a;
+            a.kind = AddrKind::Stride;
+            a.base = 0x2000'0000ull;
+            a.stride = 8 << rng.nextBounded(4);
+            a.range = 1ull << 18;
+            b.store(static_cast<std::uint8_t>(
+                        reg::kGpr0 + rng.nextBounded(8)),
+                    a);
+            break;
+          }
+          case 5:
+            if (rng.nextBool(0.5))
+                b.randomBranch(top, rng.nextDouble() * 0.6);
+            else
+                b.nop();
+            break;
+        }
+        if (with_safepoints && rng.nextBool(0.2))
+            b.markSafepoint();
+    }
+    if (with_safepoints)
+        b.safepoint();
+    b.loopBranch(top, 8 + rng.nextBounded(120));
+    b.jump(top);
+    b.beginHandler();
+    for (unsigned i = 0; i < 1 + rng.nextBounded(12); ++i)
+        b.intAlu(reg::kGpr0 + 12, reg::kGpr0 + 12);
+    b.uiret();
+    return b.build();
+}
+
+struct FuzzCase
+{
+    std::uint64_t seed;
+    DeliveryStrategy strategy;
+};
+
+void
+PrintTo(const FuzzCase &c, std::ostream *os)
+{
+    *os << "seed" << c.seed << "_strat"
+        << static_cast<int>(c.strategy);
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<FuzzCase>
+{};
+
+} // namespace
+
+TEST_P(PipelineFuzz, InvariantsHoldUnderInterruptPressure)
+{
+    const FuzzCase &fc = GetParam();
+    Program prog = randomProgram(fc.seed, false);
+
+    CoreParams params;
+    params.strategy = fc.strategy;
+    UarchSystem sys(fc.seed);
+    OooCore &core = sys.addCore(params, &prog);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(2),
+                            KbTimerMode::Periodic);
+
+    Cycles cycles = core.runUntilCommitted(50000, 40'000'000);
+    // Keep the interrupt pressure on a little longer so every seed
+    // accumulates a meaningful delivery count.
+    core.runCycles(60000);
+    const CoreStats &s = core.stats();
+
+    // The machine made forward progress (no wedge).
+    EXPECT_GE(s.committedInsts, 50000u) << "stalled pipeline";
+    EXPECT_LT(cycles, 40'000'000u);
+
+    // Conservation: everything committed was fetched; squashed work
+    // is also bounded by fetched work.
+    EXPECT_LE(s.committedUops, s.fetchedUops);
+    EXPECT_LE(s.squashedUops, s.fetchedUops);
+
+    // Interrupts: delivered exactly once each; at most one in
+    // flight; records complete and time-ordered.
+    EXPECT_GE(s.interruptsRaised, 5u);
+    EXPECT_LE(s.interruptsRaised - s.interruptsDelivered, 1u);
+    EXPECT_EQ(s.intrRecords.size(), s.interruptsDelivered);
+    Cycles prev_uiret = 0;
+    for (const auto &r : s.intrRecords) {
+        EXPECT_GE(r.acceptedAt, r.raisedAt);
+        EXPECT_GE(r.injectedAt, r.acceptedAt);
+        EXPECT_GE(r.deliveryCommitAt, r.firstUopCommitAt);
+        EXPECT_GT(r.uiretCommitAt, r.deliveryCommitAt);
+        EXPECT_GE(r.injectedAt, prev_uiret)
+            << "overlapping deliveries";
+        prev_uiret = r.uiretCommitAt;
+    }
+}
+
+namespace
+{
+
+std::vector<FuzzCase>
+makeCases()
+{
+    std::vector<FuzzCase> cases;
+    for (std::uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                               12}) {
+        for (auto strat :
+             {DeliveryStrategy::Flush, DeliveryStrategy::Drain,
+              DeliveryStrategy::Tracked}) {
+            cases.push_back(FuzzCase{seed, strat});
+        }
+    }
+    return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::ValuesIn(makeCases()));
+
+class SafepointFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SafepointFuzz, SafepointModeStillDeliversAndNeverWedges)
+{
+    Program prog = randomProgram(GetParam(), true);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    params.safepointMode = true;
+    UarchSystem sys(GetParam());
+    OooCore &core = sys.addCore(params, &prog);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(3),
+                            KbTimerMode::Periodic);
+    core.runUntilCommitted(40000, 40'000'000);
+    core.runCycles(60000);
+    const CoreStats &s = core.stats();
+    EXPECT_GE(s.committedInsts, 40000u);
+    // Safepoints exist in the loop, so delivery must happen.
+    EXPECT_GE(s.interruptsDelivered, 3u);
+    EXPECT_LE(s.interruptsRaised - s.interruptsDelivered, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafepointFuzz,
+                         ::testing::Values(21, 22, 23, 24, 25, 26,
+                                           27, 28));
+
+TEST(PipelineDeterminism, SameSeedSameResult)
+{
+    auto run = [] {
+        Program prog = randomProgram(99, false);
+        CoreParams params;
+        params.strategy = DeliveryStrategy::Tracked;
+        UarchSystem sys(99);
+        OooCore &core = sys.addCore(params, &prog);
+        core.kbTimer().configure(true, 0x21);
+        core.kbTimer().setTimer(0, usToCycles(2),
+                                KbTimerMode::Periodic);
+        core.runUntilCommitted(30000, 40'000'000);
+        return std::make_tuple(core.now(),
+                               core.stats().committedUops,
+                               core.stats().branchMispredicts,
+                               core.stats().interruptsDelivered);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(PipelineDeterminism, TwoCoreSendReceiveDeterministic)
+{
+    auto run = [] {
+        Program sender_prog = makeSenderLoop(0);
+        KernelOptions hopts;
+        Program recv_prog = makeSpinLoop(hopts);
+        CoreParams params;
+        UarchSystem sys(7);
+        OooCore &sender = sys.addCore(params, &sender_prog);
+        OooCore &receiver = sys.addCore(params, &recv_prog);
+        sys.registerRoute(receiver, 3);
+        sys.run(100000);
+        return std::make_tuple(
+            sender.stats().sendRecords.size(),
+            receiver.stats().interruptsDelivered,
+            receiver.stats().committedUops);
+    };
+    EXPECT_EQ(run(), run());
+}

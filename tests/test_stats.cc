@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Unit and property tests for the stats module: RNG, distributions,
+ * histogram percentiles (against a sorted-vector oracle), summary
+ * statistics and the table/CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "stats/csv.hh"
+#include "stats/distributions.hh"
+#include "stats/histogram.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+using namespace xui;
+
+// ----------------------------------------------------------------------
+// Rng
+// ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull,
+                                (1ull << 33)}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedZeroReturnsZero)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Rng, BoundedUniformity)
+{
+    Rng rng(17);
+    const std::uint64_t buckets = 8;
+    std::vector<int> counts(buckets, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (auto c : counts)
+        EXPECT_NEAR(c, n / static_cast<int>(buckets),
+                    n / static_cast<int>(buckets) / 5);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, SplitStreamsDecorrelated)
+{
+    Rng parent(99);
+    Rng c1 = parent.split();
+    Rng c2 = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c1.next() == c2.next();
+    EXPECT_LT(same, 4);
+}
+
+// ----------------------------------------------------------------------
+// Distributions
+// ----------------------------------------------------------------------
+
+TEST(Distributions, ExponentialMean)
+{
+    Rng rng(21);
+    ExponentialDist d(50.0);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(rng);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Distributions, ExponentialNonNegative)
+{
+    Rng rng(22);
+    ExponentialDist d(3.0);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(d.sample(rng), 0.0);
+}
+
+TEST(Distributions, NormalMoments)
+{
+    Rng rng(23);
+    NormalDist d(10.0, 2.0);
+    SummaryStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(d.sample(rng));
+    EXPECT_NEAR(s.mean(), 10.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Distributions, NormalNonNegativeClamps)
+{
+    Rng rng(24);
+    NormalDist d(0.5, 5.0);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(d.sampleNonNegative(rng), 0.0);
+}
+
+TEST(Distributions, UniformRange)
+{
+    Rng rng(25);
+    UniformDist d(5.0, 9.0);
+    SummaryStats s;
+    for (int i = 0; i < 100000; ++i) {
+        double v = d.sample(rng);
+        EXPECT_GE(v, 5.0);
+        EXPECT_LT(v, 9.0);
+        s.add(v);
+    }
+    EXPECT_NEAR(s.mean(), 7.0, 0.05);
+}
+
+TEST(Distributions, BimodalMixFraction)
+{
+    Rng rng(26);
+    BimodalDist d(0.995, 1.2, 580.0);
+    int fast = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        bool was_a;
+        double v = d.sample(rng, &was_a);
+        if (was_a) {
+            EXPECT_DOUBLE_EQ(v, 1.2);
+            ++fast;
+        } else {
+            EXPECT_DOUBLE_EQ(v, 580.0);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(fast) / n, 0.995, 0.002);
+}
+
+TEST(Distributions, BimodalMean)
+{
+    BimodalDist d(0.995, 1.2, 580.0);
+    EXPECT_NEAR(d.mean(), 0.995 * 1.2 + 0.005 * 580.0, 1e-9);
+}
+
+TEST(Distributions, PoissonProcessMonotonic)
+{
+    Rng rng(27);
+    PoissonProcess p(0.001, rng);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t t = p.nextArrival();
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Distributions, PoissonProcessRate)
+{
+    Rng rng(28);
+    PoissonProcess p(0.01, rng);  // mean gap 100 cycles
+    const int n = 100000;
+    std::uint64_t last = 0;
+    for (int i = 0; i < n; ++i)
+        last = p.nextArrival();
+    double mean_gap = static_cast<double>(last) / n;
+    EXPECT_NEAR(mean_gap, 100.0, 2.0);
+}
+
+TEST(Distributions, DiscreteRespectsWeights)
+{
+    Rng rng(29);
+    DiscreteDist d({{1.0, 3.0}, {2.0, 1.0}});
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ones += d.sample(rng) == 1.0;
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+// ----------------------------------------------------------------------
+// Histogram (property: percentile near sorted-vector oracle)
+// ----------------------------------------------------------------------
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(99.0), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.record(42);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 42);
+    EXPECT_EQ(h.max(), 42);
+    EXPECT_EQ(h.p50(), 42);
+    EXPECT_EQ(h.p999(), 42);
+}
+
+TEST(Histogram, NegativeClampedToZero)
+{
+    Histogram h;
+    h.record(-5);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, ExactInLinearRegion)
+{
+    Histogram h(7);
+    for (int v = 0; v < 200; ++v)
+        h.record(v);
+    // Values below 2*128 are exact (inclusive-rank convention).
+    EXPECT_EQ(h.percentile(50.0), 99);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 199);
+}
+
+TEST(Histogram, MergeMatchesCombined)
+{
+    Rng rng(31);
+    Histogram a, b, combined;
+    for (int i = 0; i < 5000; ++i) {
+        std::int64_t v =
+            static_cast<std::int64_t>(rng.nextBounded(1000000));
+        if (i % 2) {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_EQ(a.p99(), combined.p99());
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(10);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, RecordWithCount)
+{
+    Histogram h;
+    h.record(5, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+class HistogramPercentileProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(HistogramPercentileProperty, NearOracleWithinRelativeError)
+{
+    std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    Histogram h;
+    std::vector<std::int64_t> oracle;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        // Mix of magnitudes across many powers of two.
+        unsigned shift = static_cast<unsigned>(rng.nextBounded(36));
+        std::int64_t v = static_cast<std::int64_t>(
+            rng.nextBounded(1ull << shift));
+        h.record(v);
+        oracle.push_back(v);
+    }
+    std::sort(oracle.begin(), oracle.end());
+    for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+        std::size_t idx = static_cast<std::size_t>(
+            p / 100.0 * n);
+        if (idx >= oracle.size())
+            idx = oracle.size() - 1;
+        double expect = static_cast<double>(oracle[idx]);
+        double got = static_cast<double>(h.percentile(p));
+        // Bounded relative error from sub-bucketing (plus slack for
+        // rank-rounding at small values).
+        EXPECT_NEAR(got, expect,
+                    std::max(4.0, expect * 0.02))
+            << "p=" << p << " seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPercentileProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21,
+                                           34, 55, 89));
+
+// ----------------------------------------------------------------------
+// SummaryStats
+// ----------------------------------------------------------------------
+
+TEST(SummaryStats, BasicMoments)
+{
+    SummaryStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.571428, 1e-5);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SummaryStats, EmptySafe)
+{
+    SummaryStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(SummaryStats, MergeEqualsSequential)
+{
+    Rng rng(41);
+    SummaryStats a, b, all;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble() * 100.0;
+        (i % 3 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(SummaryStats, MergeWithEmpty)
+{
+    SummaryStats a, b;
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+// ----------------------------------------------------------------------
+// TablePrinter / CsvWriter
+// ----------------------------------------------------------------------
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t("Title");
+    t.setHeader({"a", "longer"});
+    t.addRow({"xxxx", "1"});
+    t.addRule();
+    t.addRow({"y", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("xxxx"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Rule lines exist.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, Formatters)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::integer(-7), "-7");
+    EXPECT_EQ(TablePrinter::percent(0.456, 1), "45.6%");
+}
+
+TEST(CsvWriter, EscapesSpecials)
+{
+    std::string path = ::testing::TempDir() + "xui_csv_test.csv";
+    {
+        CsvWriter w(path);
+        w.writeRow({"plain", "with,comma", "with\"quote"});
+        w.close();
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPath)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+                 std::runtime_error);
+}

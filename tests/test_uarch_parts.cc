@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the cycle-tier building blocks: the set-associative
+ * cache hierarchy, the gshare predictor, program building, the MSROM
+ * microcode shapes, and the tracked-interrupt FSM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "uarch/interrupt_unit.hh"
+#include "uarch/mcrom.hh"
+#include "uarch/program.hh"
+#include "workloads/kernels.hh"
+
+using namespace xui;
+
+// ----------------------------------------------------------------------
+// Cache
+// ----------------------------------------------------------------------
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(1024, 2, 64, 3, nullptr, 100);
+    EXPECT_EQ(c.access(0x1000), 103u);  // cold miss
+    EXPECT_EQ(c.access(0x1000), 3u);    // hit
+    EXPECT_EQ(c.access(0x1008), 3u);    // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 2-way, 8 sets of 64B lines: addresses 0, 512, 1024 map to
+    // set 0 (stride = numSets * line = 512).
+    Cache c(1024, 2, 64, 1, nullptr, 50);
+    c.access(0);
+    c.access(512);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(512));
+    c.access(1024);  // evicts LRU (0)
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(512));
+    EXPECT_TRUE(c.contains(1024));
+}
+
+TEST(Cache, LruUpdatedOnHit)
+{
+    Cache c(1024, 2, 64, 1, nullptr, 50);
+    c.access(0);
+    c.access(512);
+    c.access(0);     // 0 becomes MRU
+    c.access(1024);  // evicts 512
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(512));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(1024, 2, 64, 1, nullptr, 50);
+    c.access(0x40);
+    EXPECT_TRUE(c.contains(0x40));
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(Cache, FlushAll)
+{
+    Cache c(1024, 2, 64, 1, nullptr, 50);
+    for (std::uint64_t a = 0; a < 1024; a += 64)
+        c.access(a);
+    c.flushAll();
+    for (std::uint64_t a = 0; a < 1024; a += 64)
+        EXPECT_FALSE(c.contains(a));
+}
+
+TEST(Cache, HierarchyLatenciesCompose)
+{
+    MemHierarchyParams p;
+    MemHierarchy m(p);
+    unsigned cold = m.access(0x100000);
+    // Cold miss traverses L1 + L2 + LLC + memory.
+    EXPECT_EQ(cold, p.l1Latency + p.l2Latency + p.llcLatency +
+                        p.memLatency);
+    EXPECT_EQ(m.access(0x100000), p.l1Latency);
+}
+
+TEST(Cache, WorkingSetLargerThanL1Misses)
+{
+    MemHierarchyParams p;
+    MemHierarchy m(p);
+    // Stream a 1 MB working set twice; second pass should miss L1
+    // (32 KB) but hit L2 (2 MB).
+    const std::uint64_t ws = 1 << 20;
+    for (std::uint64_t a = 0; a < ws; a += 64)
+        m.access(a);
+    std::uint64_t l1_hits_before = m.l1().hits();
+    unsigned lat = m.access(0);
+    EXPECT_EQ(lat, p.l1Latency + p.l2Latency);
+    EXPECT_EQ(m.l1().hits(), l1_hits_before);
+}
+
+TEST(Cache, RemoteAccessCostsLlcTransfer)
+{
+    MemHierarchyParams p;
+    MemHierarchy m(p);
+    m.access(0x5000);  // line is local now
+    unsigned remote = m.remoteAccess(0x5000);
+    // Remote sourcing must cost far more than an L1 hit and at
+    // least an LLC round-trip.
+    EXPECT_GE(remote, p.llcLatency);
+    EXPECT_GT(remote, p.l1Latency + p.l2Latency);
+}
+
+// ----------------------------------------------------------------------
+// Branch predictor
+// ----------------------------------------------------------------------
+
+TEST(Predictor, LearnsAlwaysTaken)
+{
+    // Gshare indexes by pc ^ history, so training must continue
+    // until the all-taken history saturates and the steady-state
+    // index accumulates strength.
+    BranchPredictor bp(10, 8);
+    for (int i = 0; i < 20; ++i)
+        bp.update(0x40, true, bp.predict(0x40));
+    EXPECT_TRUE(bp.predict(0x40));
+}
+
+TEST(Predictor, LearnsNotTaken)
+{
+    BranchPredictor bp(10, 8);
+    for (int i = 0; i < 8; ++i)
+        bp.update(0x40, false, bp.predict(0x40));
+    EXPECT_FALSE(bp.predict(0x40));
+}
+
+TEST(Predictor, CountsMispredicts)
+{
+    BranchPredictor bp(10, 8);
+    // Train taken until history saturates, then flip.
+    for (int i = 0; i < 20; ++i)
+        bp.update(0x10, true, bp.predict(0x10));
+    std::uint64_t before = bp.mispredicts();
+    bool pred = bp.predict(0x10);
+    bp.update(0x10, false, pred);
+    EXPECT_EQ(bp.mispredicts(), before + 1);
+}
+
+TEST(Predictor, HistoryRestore)
+{
+    BranchPredictor bp(10, 8);
+    std::uint64_t h0 = bp.history();
+    bp.update(1, true, true);
+    bp.update(2, true, true);
+    EXPECT_NE(bp.history(), h0);
+    bp.restoreHistory(h0);
+    EXPECT_EQ(bp.history(), h0);
+}
+
+TEST(Predictor, LoopPatternAccuracy)
+{
+    // 8-iteration loop: with history the exit becomes predictable;
+    // accuracy must be well above 50%.
+    BranchPredictor bp(12, 10);
+    std::uint64_t wrong = 0, total = 0;
+    for (int trip = 0; trip < 2000; ++trip) {
+        for (int i = 0; i < 8; ++i) {
+            bool taken = i != 7;
+            bool pred = bp.predict(0x99);
+            wrong += bp.update(0x99, taken, pred);
+            ++total;
+        }
+    }
+    double acc = 1.0 - static_cast<double>(wrong) /
+        static_cast<double>(total);
+    EXPECT_GT(acc, 0.8);
+}
+
+// ----------------------------------------------------------------------
+// Program builder and workload kernels
+// ----------------------------------------------------------------------
+
+TEST(Program, BuilderBasics)
+{
+    ProgramBuilder b("t");
+    std::uint32_t pc0 = b.intAlu(1, 1);
+    std::uint32_t pc1 = b.jump(pc0);
+    b.beginHandler();
+    std::uint32_t pc2 = b.uiret();
+    Program p = b.build();
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(pc1, 1u);
+    EXPECT_EQ(p.handlerEntry(), pc2);
+    EXPECT_EQ(p.at(1).opcode, MacroOpcode::Branch);
+    EXPECT_EQ(p.at(1).branch.kind, BranchKind::Always);
+}
+
+TEST(Program, MarkSafepoint)
+{
+    ProgramBuilder b("t");
+    b.intAlu(1, 1);
+    b.markSafepoint();
+    Program p = b.build();
+    EXPECT_TRUE(p.at(0).isSafepoint);
+}
+
+TEST(Workloads, AllKernelsHaveHandlers)
+{
+    for (const Program &p :
+         {makeFib(), makeLinpack(), makeMemops(), makeMatmul(),
+          makeBase64(), makeSpinLoop(),
+          makePointerChase(8, 1 << 20, true)}) {
+        EXPECT_NE(p.handlerEntry(), Program::kNoHandler)
+            << p.name();
+        EXPECT_GT(p.size(), 2u);
+        // Handler ends with uiret.
+        bool found_uiret = false;
+        for (std::uint32_t pc = p.handlerEntry(); pc < p.size();
+             ++pc)
+            found_uiret |= p.at(pc).opcode == MacroOpcode::Uiret;
+        EXPECT_TRUE(found_uiret) << p.name();
+    }
+}
+
+TEST(Workloads, SafepointInstrumentationMarksBackEdge)
+{
+    KernelOptions opts;
+    opts.instr = Instrumentation::Safepoint;
+    Program p = makeFib(opts);
+    bool any_safepoint = false;
+    for (std::uint32_t pc = 0; pc < p.size(); ++pc)
+        any_safepoint |= p.at(pc).isSafepoint;
+    EXPECT_TRUE(any_safepoint);
+}
+
+TEST(Workloads, PollingInstrumentationAddsLoadAndBranch)
+{
+    Program plain = makeFib();
+    KernelOptions opts;
+    opts.instr = Instrumentation::Polling;
+    Program polled = makeFib(opts);
+    EXPECT_GT(polled.size(), plain.size());
+}
+
+TEST(Workloads, PointerChaseChainsRegisters)
+{
+    Program p = makePointerChase(4, 1 << 16, true);
+    // First four ops are loads with dest == src (the chain).
+    for (std::uint32_t pc = 0; pc < 4; ++pc) {
+        EXPECT_EQ(p.at(pc).opcode, MacroOpcode::Load);
+        EXPECT_EQ(p.at(pc).dest, p.at(pc).src1);
+    }
+    // Then the SP feed (§6.1).
+    EXPECT_EQ(p.at(4).dest, reg::kSp);
+}
+
+// ----------------------------------------------------------------------
+// MSROM shapes
+// ----------------------------------------------------------------------
+
+TEST(Mcrom, SenduipiHas57Uops)
+{
+    Mcrom m;
+    EXPECT_EQ(m.senduipi().size(), 57u);  // paper §3.5
+    // Ends with the serializing ICR write.
+    const MicroOp &last = m.senduipi().back();
+    EXPECT_EQ(last.cls, OpClass::SerializeMsr);
+    EXPECT_EQ(last.effect, McodeEffect::WriteIcr);
+    EXPECT_TRUE(last.eom);
+}
+
+TEST(Mcrom, NotifyReadsUpidRemotely)
+{
+    Mcrom m;
+    const auto &notify = m.notify();
+    EXPECT_EQ(notify.front().cls, OpClass::MemRead);
+    EXPECT_EQ(notify.front().mem, MemMode::Remote);
+    for (const auto &u : notify)
+        EXPECT_TRUE(u.fromIntrPath);
+}
+
+TEST(Mcrom, DeliveryReadsStackPointer)
+{
+    Mcrom m;
+    bool sp_read = false;
+    for (const auto &u : m.delivery())
+        sp_read |= u.src1 == reg::kSp;
+    EXPECT_TRUE(sp_read);  // the §6.1 pathological dependence
+    EXPECT_EQ(m.delivery().back().effect,
+              McodeEffect::JumpHandler);
+}
+
+TEST(Mcrom, UiretEndsWithReturn)
+{
+    Mcrom m;
+    EXPECT_EQ(m.uiret().back().effect,
+              McodeEffect::ReturnFromHandler);
+    // No uiret micro-op touches the UPID.
+    for (const auto &u : m.uiret())
+        EXPECT_NE(u.mem, MemMode::Remote);
+}
+
+TEST(Mcrom, CluiStuiCosts)
+{
+    McodeParams p;
+    Mcrom m(p);
+    EXPECT_EQ(m.clui().front().fixedLatency, p.cluiLatency);
+    EXPECT_EQ(m.stui().front().fixedLatency, p.stuiLatency);
+}
+
+// ----------------------------------------------------------------------
+// Tracked-interrupt FSM (paper Fig. 3)
+// ----------------------------------------------------------------------
+
+TEST(TrackerFsm, AcceptRequiresUifAndIdle)
+{
+    InterruptUnit u;
+    EXPECT_FALSE(u.canAccept());
+    u.raise(IntrSource::KbTimer, 0x21, 5);
+    EXPECT_TRUE(u.canAccept());
+    u.setUif(false);
+    EXPECT_FALSE(u.canAccept());
+    u.setUif(true);
+    u.accept();
+    EXPECT_EQ(u.state(), TrackerState::Pending);
+    u.raise(IntrSource::KbTimer, 0x21, 6);
+    EXPECT_FALSE(u.canAccept());  // busy
+}
+
+TEST(TrackerFsm, InjectionLifecycle)
+{
+    InterruptUnit u;
+    u.raise(IntrSource::UserIpi, 0xec, 1);
+    u.accept();
+    EXPECT_TRUE(u.shouldInject(false, false));
+    u.onInjected();
+    EXPECT_EQ(u.state(), TrackerState::Injected);
+    u.onFirstIntrCommit();
+    EXPECT_EQ(u.state(), TrackerState::Committed);
+    u.onHandlerReturn();
+    EXPECT_EQ(u.state(), TrackerState::Idle);
+}
+
+TEST(TrackerFsm, SquashBeforeCommitReinjects)
+{
+    InterruptUnit u;
+    u.raise(IntrSource::UserIpi, 0xec, 1);
+    u.accept();
+    u.onInjected();
+    // Squash killed interrupt-path micro-ops before first commit.
+    EXPECT_TRUE(u.onSquash(true));
+    EXPECT_EQ(u.state(), TrackerState::Pending);
+    // Re-inject at the recovery PC.
+    EXPECT_TRUE(u.shouldInject(false, false));
+}
+
+TEST(TrackerFsm, SquashAfterCommitNoReinject)
+{
+    InterruptUnit u;
+    u.raise(IntrSource::UserIpi, 0xec, 1);
+    u.accept();
+    u.onInjected();
+    u.onFirstIntrCommit();
+    EXPECT_FALSE(u.onSquash(true));
+    EXPECT_EQ(u.state(), TrackerState::Committed);
+}
+
+TEST(TrackerFsm, SquashNotKillingIntrNoReinject)
+{
+    InterruptUnit u;
+    u.raise(IntrSource::UserIpi, 0xec, 1);
+    u.accept();
+    u.onInjected();
+    EXPECT_FALSE(u.onSquash(false));
+    EXPECT_EQ(u.state(), TrackerState::Injected);
+}
+
+TEST(TrackerFsm, SafepointModeGatesInjection)
+{
+    InterruptUnit u;
+    u.raise(IntrSource::KbTimer, 0x21, 1);
+    u.accept();
+    // Safepoint mode on, not at a safepoint: wait.
+    EXPECT_FALSE(u.shouldInject(false, true));
+    // At a safepoint: go.
+    EXPECT_TRUE(u.shouldInject(true, true));
+    // Safepoint mode off: any boundary works.
+    EXPECT_TRUE(u.shouldInject(false, false));
+}
+
+TEST(TrackerFsm, PendingQueueFifo)
+{
+    InterruptUnit u;
+    u.raise(IntrSource::UserIpi, 1, 1);
+    u.raise(IntrSource::KbTimer, 2, 2);
+    PendingIntr first = u.accept();
+    EXPECT_EQ(first.source, IntrSource::UserIpi);
+    u.onInjected();
+    u.onFirstIntrCommit();
+    u.onHandlerReturn();
+    PendingIntr second = u.accept();
+    EXPECT_EQ(second.source, IntrSource::KbTimer);
+}
