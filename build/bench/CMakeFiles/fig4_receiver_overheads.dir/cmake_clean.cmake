@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_receiver_overheads.dir/fig4_receiver_overheads.cpp.o"
+  "CMakeFiles/fig4_receiver_overheads.dir/fig4_receiver_overheads.cpp.o.d"
+  "fig4_receiver_overheads"
+  "fig4_receiver_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_receiver_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

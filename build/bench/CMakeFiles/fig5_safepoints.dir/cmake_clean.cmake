@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_safepoints.dir/fig5_safepoints.cpp.o"
+  "CMakeFiles/fig5_safepoints.dir/fig5_safepoints.cpp.o.d"
+  "fig5_safepoints"
+  "fig5_safepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_safepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

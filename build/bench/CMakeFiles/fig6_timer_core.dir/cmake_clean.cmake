@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_timer_core.dir/fig6_timer_core.cpp.o"
+  "CMakeFiles/fig6_timer_core.dir/fig6_timer_core.cpp.o.d"
+  "fig6_timer_core"
+  "fig6_timer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_timer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rocksdb.dir/fig7_rocksdb.cpp.o"
+  "CMakeFiles/fig7_rocksdb.dir/fig7_rocksdb.cpp.o.d"
+  "fig7_rocksdb"
+  "fig7_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

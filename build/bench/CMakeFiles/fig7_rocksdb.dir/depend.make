@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_rocksdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_l3fwd.dir/fig8_l3fwd.cpp.o"
+  "CMakeFiles/fig8_l3fwd.dir/fig8_l3fwd.cpp.o.d"
+  "fig8_l3fwd"
+  "fig8_l3fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_l3fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

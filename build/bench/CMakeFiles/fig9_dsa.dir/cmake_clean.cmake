@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dsa.dir/fig9_dsa.cpp.o"
+  "CMakeFiles/fig9_dsa.dir/fig9_dsa.cpp.o.d"
+  "fig9_dsa"
+  "fig9_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxlat_pathological.dir/maxlat_pathological.cpp.o"
+  "CMakeFiles/maxlat_pathological.dir/maxlat_pathological.cpp.o.d"
+  "maxlat_pathological"
+  "maxlat_pathological.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxlat_pathological.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_uipi_metrics.dir/table2_uipi_metrics.cpp.o"
+  "CMakeFiles/table2_uipi_metrics.dir/table2_uipi_metrics.cpp.o.d"
+  "table2_uipi_metrics"
+  "table2_uipi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_uipi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

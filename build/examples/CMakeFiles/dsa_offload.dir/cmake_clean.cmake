@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_offload.dir/dsa_offload.cpp.o"
+  "CMakeFiles/dsa_offload.dir/dsa_offload.cpp.o.d"
+  "dsa_offload"
+  "dsa_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

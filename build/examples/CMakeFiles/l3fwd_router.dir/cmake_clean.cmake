@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l3fwd_router.dir/l3fwd_router.cpp.o"
+  "CMakeFiles/l3fwd_router.dir/l3fwd_router.cpp.o.d"
+  "l3fwd_router"
+  "l3fwd_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l3fwd_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptive_scheduler.dir/preemptive_scheduler.cpp.o"
+  "CMakeFiles/preemptive_scheduler.dir/preemptive_scheduler.cpp.o.d"
+  "preemptive_scheduler"
+  "preemptive_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemptive_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/safepoint_gc.cpp" "examples/CMakeFiles/safepoint_gc.dir/safepoint_gc.cpp.o" "gcc" "examples/CMakeFiles/safepoint_gc.dir/safepoint_gc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xui_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xui_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/xui_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/xui_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xui_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/xui_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xui_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xui_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/intr/CMakeFiles/xui_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/xui_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xui_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safepoint_gc.dir/safepoint_gc.cpp.o"
+  "CMakeFiles/safepoint_gc.dir/safepoint_gc.cpp.o.d"
+  "safepoint_gc"
+  "safepoint_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safepoint_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_accel.dir/client.cc.o"
+  "CMakeFiles/xui_accel.dir/client.cc.o.d"
+  "CMakeFiles/xui_accel.dir/dsa.cc.o"
+  "CMakeFiles/xui_accel.dir/dsa.cc.o.d"
+  "libxui_accel.a"
+  "libxui_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_core.dir/calibration.cc.o"
+  "CMakeFiles/xui_core.dir/calibration.cc.o.d"
+  "libxui_core.a"
+  "libxui_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_des.dir/event_queue.cc.o"
+  "CMakeFiles/xui_des.dir/event_queue.cc.o.d"
+  "CMakeFiles/xui_des.dir/simulation.cc.o"
+  "CMakeFiles/xui_des.dir/simulation.cc.o.d"
+  "libxui_des.a"
+  "libxui_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

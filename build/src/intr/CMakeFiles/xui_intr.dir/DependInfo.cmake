@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intr/bitset256.cc" "src/intr/CMakeFiles/xui_intr.dir/bitset256.cc.o" "gcc" "src/intr/CMakeFiles/xui_intr.dir/bitset256.cc.o.d"
+  "/root/repo/src/intr/forwarding.cc" "src/intr/CMakeFiles/xui_intr.dir/forwarding.cc.o" "gcc" "src/intr/CMakeFiles/xui_intr.dir/forwarding.cc.o.d"
+  "/root/repo/src/intr/kb_timer.cc" "src/intr/CMakeFiles/xui_intr.dir/kb_timer.cc.o" "gcc" "src/intr/CMakeFiles/xui_intr.dir/kb_timer.cc.o.d"
+  "/root/repo/src/intr/uitt.cc" "src/intr/CMakeFiles/xui_intr.dir/uitt.cc.o" "gcc" "src/intr/CMakeFiles/xui_intr.dir/uitt.cc.o.d"
+  "/root/repo/src/intr/upid.cc" "src/intr/CMakeFiles/xui_intr.dir/upid.cc.o" "gcc" "src/intr/CMakeFiles/xui_intr.dir/upid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/xui_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xui_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_intr.dir/bitset256.cc.o"
+  "CMakeFiles/xui_intr.dir/bitset256.cc.o.d"
+  "CMakeFiles/xui_intr.dir/forwarding.cc.o"
+  "CMakeFiles/xui_intr.dir/forwarding.cc.o.d"
+  "CMakeFiles/xui_intr.dir/kb_timer.cc.o"
+  "CMakeFiles/xui_intr.dir/kb_timer.cc.o.d"
+  "CMakeFiles/xui_intr.dir/uitt.cc.o"
+  "CMakeFiles/xui_intr.dir/uitt.cc.o.d"
+  "CMakeFiles/xui_intr.dir/upid.cc.o"
+  "CMakeFiles/xui_intr.dir/upid.cc.o.d"
+  "libxui_intr.a"
+  "libxui_intr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_intr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

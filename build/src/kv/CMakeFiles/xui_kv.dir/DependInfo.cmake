@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/kvstore.cc" "src/kv/CMakeFiles/xui_kv.dir/kvstore.cc.o" "gcc" "src/kv/CMakeFiles/xui_kv.dir/kvstore.cc.o.d"
+  "/root/repo/src/kv/server.cc" "src/kv/CMakeFiles/xui_kv.dir/server.cc.o" "gcc" "src/kv/CMakeFiles/xui_kv.dir/server.cc.o.d"
+  "/root/repo/src/kv/skiplist.cc" "src/kv/CMakeFiles/xui_kv.dir/skiplist.cc.o" "gcc" "src/kv/CMakeFiles/xui_kv.dir/skiplist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/xui_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xui_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xui_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xui_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/intr/CMakeFiles/xui_intr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_kv.dir/kvstore.cc.o"
+  "CMakeFiles/xui_kv.dir/kvstore.cc.o.d"
+  "CMakeFiles/xui_kv.dir/server.cc.o"
+  "CMakeFiles/xui_kv.dir/server.cc.o.d"
+  "CMakeFiles/xui_kv.dir/skiplist.cc.o"
+  "CMakeFiles/xui_kv.dir/skiplist.cc.o.d"
+  "libxui_kv.a"
+  "libxui_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

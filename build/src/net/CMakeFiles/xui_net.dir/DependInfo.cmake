@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/l3fwd.cc" "src/net/CMakeFiles/xui_net.dir/l3fwd.cc.o" "gcc" "src/net/CMakeFiles/xui_net.dir/l3fwd.cc.o.d"
+  "/root/repo/src/net/lpm.cc" "src/net/CMakeFiles/xui_net.dir/lpm.cc.o" "gcc" "src/net/CMakeFiles/xui_net.dir/lpm.cc.o.d"
+  "/root/repo/src/net/traffic.cc" "src/net/CMakeFiles/xui_net.dir/traffic.cc.o" "gcc" "src/net/CMakeFiles/xui_net.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/xui_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/xui_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xui_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/intr/CMakeFiles/xui_intr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

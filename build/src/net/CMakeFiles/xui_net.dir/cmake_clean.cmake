@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_net.dir/l3fwd.cc.o"
+  "CMakeFiles/xui_net.dir/l3fwd.cc.o.d"
+  "CMakeFiles/xui_net.dir/lpm.cc.o"
+  "CMakeFiles/xui_net.dir/lpm.cc.o.d"
+  "CMakeFiles/xui_net.dir/traffic.cc.o"
+  "CMakeFiles/xui_net.dir/traffic.cc.o.d"
+  "libxui_net.a"
+  "libxui_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

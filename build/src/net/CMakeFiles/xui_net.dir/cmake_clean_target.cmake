@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxui_net.a"
+)

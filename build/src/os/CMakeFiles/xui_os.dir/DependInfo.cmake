@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/xui_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/xui_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/timer_core.cc" "src/os/CMakeFiles/xui_os.dir/timer_core.cc.o" "gcc" "src/os/CMakeFiles/xui_os.dir/timer_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/xui_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/intr/CMakeFiles/xui_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xui_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_os.dir/kernel.cc.o"
+  "CMakeFiles/xui_os.dir/kernel.cc.o.d"
+  "CMakeFiles/xui_os.dir/timer_core.cc.o"
+  "CMakeFiles/xui_os.dir/timer_core.cc.o.d"
+  "libxui_os.a"
+  "libxui_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

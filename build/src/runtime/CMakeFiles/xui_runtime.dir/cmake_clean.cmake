@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_runtime.dir/runtime.cc.o"
+  "CMakeFiles/xui_runtime.dir/runtime.cc.o.d"
+  "libxui_runtime.a"
+  "libxui_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

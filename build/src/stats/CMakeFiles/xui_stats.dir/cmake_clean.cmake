@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_stats.dir/csv.cc.o"
+  "CMakeFiles/xui_stats.dir/csv.cc.o.d"
+  "CMakeFiles/xui_stats.dir/distributions.cc.o"
+  "CMakeFiles/xui_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/xui_stats.dir/histogram.cc.o"
+  "CMakeFiles/xui_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/xui_stats.dir/rng.cc.o"
+  "CMakeFiles/xui_stats.dir/rng.cc.o.d"
+  "CMakeFiles/xui_stats.dir/summary.cc.o"
+  "CMakeFiles/xui_stats.dir/summary.cc.o.d"
+  "CMakeFiles/xui_stats.dir/table.cc.o"
+  "CMakeFiles/xui_stats.dir/table.cc.o.d"
+  "libxui_stats.a"
+  "libxui_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cc" "src/uarch/CMakeFiles/xui_uarch.dir/branch_predictor.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/cache.cc" "src/uarch/CMakeFiles/xui_uarch.dir/cache.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/cache.cc.o.d"
+  "/root/repo/src/uarch/interrupt_unit.cc" "src/uarch/CMakeFiles/xui_uarch.dir/interrupt_unit.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/interrupt_unit.cc.o.d"
+  "/root/repo/src/uarch/mcrom.cc" "src/uarch/CMakeFiles/xui_uarch.dir/mcrom.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/mcrom.cc.o.d"
+  "/root/repo/src/uarch/ooo_core.cc" "src/uarch/CMakeFiles/xui_uarch.dir/ooo_core.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/ooo_core.cc.o.d"
+  "/root/repo/src/uarch/program.cc" "src/uarch/CMakeFiles/xui_uarch.dir/program.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/program.cc.o.d"
+  "/root/repo/src/uarch/trace.cc" "src/uarch/CMakeFiles/xui_uarch.dir/trace.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/trace.cc.o.d"
+  "/root/repo/src/uarch/uarch_system.cc" "src/uarch/CMakeFiles/xui_uarch.dir/uarch_system.cc.o" "gcc" "src/uarch/CMakeFiles/xui_uarch.dir/uarch_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/intr/CMakeFiles/xui_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xui_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/xui_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_uarch.dir/branch_predictor.cc.o"
+  "CMakeFiles/xui_uarch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/xui_uarch.dir/cache.cc.o"
+  "CMakeFiles/xui_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/xui_uarch.dir/interrupt_unit.cc.o"
+  "CMakeFiles/xui_uarch.dir/interrupt_unit.cc.o.d"
+  "CMakeFiles/xui_uarch.dir/mcrom.cc.o"
+  "CMakeFiles/xui_uarch.dir/mcrom.cc.o.d"
+  "CMakeFiles/xui_uarch.dir/ooo_core.cc.o"
+  "CMakeFiles/xui_uarch.dir/ooo_core.cc.o.d"
+  "CMakeFiles/xui_uarch.dir/program.cc.o"
+  "CMakeFiles/xui_uarch.dir/program.cc.o.d"
+  "CMakeFiles/xui_uarch.dir/trace.cc.o"
+  "CMakeFiles/xui_uarch.dir/trace.cc.o.d"
+  "CMakeFiles/xui_uarch.dir/uarch_system.cc.o"
+  "CMakeFiles/xui_uarch.dir/uarch_system.cc.o.d"
+  "libxui_uarch.a"
+  "libxui_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xui_workloads.dir/kernels.cc.o"
+  "CMakeFiles/xui_workloads.dir/kernels.cc.o.d"
+  "libxui_workloads.a"
+  "libxui_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xui_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

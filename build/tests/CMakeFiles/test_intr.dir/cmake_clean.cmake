@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intr.dir/test_intr.cc.o"
+  "CMakeFiles/test_intr.dir/test_intr.cc.o.d"
+  "test_intr"
+  "test_intr.pdb"
+  "test_intr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_micro.dir/test_uarch_micro.cc.o"
+  "CMakeFiles/test_uarch_micro.dir/test_uarch_micro.cc.o.d"
+  "test_uarch_micro"
+  "test_uarch_micro.pdb"
+  "test_uarch_micro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_parts.dir/test_uarch_parts.cc.o"
+  "CMakeFiles/test_uarch_parts.dir/test_uarch_parts.cc.o.d"
+  "test_uarch_parts"
+  "test_uarch_parts.pdb"
+  "test_uarch_parts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
