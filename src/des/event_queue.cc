@@ -74,6 +74,9 @@ EventQueue::runOne()
         return false;
     assert(e.when >= now_);
     now_ = e.when;
+    ++fired_;
+    if (fireHook_)
+        fireHook_(e.id, e.when);
     e.cb();
     return true;
 }

@@ -62,6 +62,18 @@ class EventQueue
     bool empty() const { return live_ == 0; }
 
     /**
+     * Observer invoked just before each event fires, with the
+     * event's id and fire time. Used by the verification subsystem
+     * to fingerprint the firing order; nullptr (default) disables
+     * it. The hook must not schedule or cancel events.
+     */
+    using FireHook = std::function<void(EventId, Cycles)>;
+    void setFireHook(FireHook hook) { fireHook_ = std::move(hook); }
+
+    /** Total events fired since construction. */
+    std::uint64_t firedCount() const { return fired_; }
+
+    /**
      * Pop and run the next event.
      * @return false when the queue is empty.
      */
@@ -104,9 +116,11 @@ class EventQueue
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     std::unordered_set<EventId> cancelled_;
+    FireHook fireHook_;
     Cycles now_;
     std::uint64_t nextSeq_;
     EventId nextId_;
+    std::uint64_t fired_ = 0;
     std::size_t live_;
 };
 

@@ -1,0 +1,22 @@
+#include "stats/digest.hh"
+
+namespace xui
+{
+
+void
+Fnv1a::update(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        updateByte(p[i]);
+}
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len)
+{
+    Fnv1a h;
+    h.update(data, len);
+    return h.value();
+}
+
+} // namespace xui

@@ -342,6 +342,14 @@ OooCore::writebackStage()
 }
 
 void
+OooCore::uncountExec(const RobEntry &entry)
+{
+    if (entry.countedExec && entry.pc < program_->size() &&
+        execCount_[entry.pc] > 0)
+        --execCount_[entry.pc];
+}
+
+void
 OooCore::squashYoungerThan(std::uint64_t seq,
                            std::uint32_t recovery_pc,
                            std::uint64_t history)
@@ -353,12 +361,14 @@ OooCore::squashYoungerThan(std::uint64_t seq,
     while (!rob_.empty() && rob_.back().seq > seq) {
         if (rob_.back().uop.fromIntrPath)
             killed_intr = true;
+        uncountExec(rob_.back());
         rob_.pop_back();
         ++killed_rob;
     }
     for (const auto &f : fetchBuffer_) {
         if (f.uop.fromIntrPath)
             killed_intr = true;
+        uncountExec(f);
     }
     for (const auto &u : ucodeQueue_) {
         if (u.fromIntrPath)
@@ -394,6 +404,10 @@ OooCore::squashAll()
     stats_.squashedUops += killed_rob + fetchBuffer_.size();
     if (killed_rob + fetchBuffer_.size() > 0)
         ++stats_.squashes;
+    for (const auto &entry : rob_)
+        uncountExec(entry);
+    for (const auto &entry : fetchBuffer_)
+        uncountExec(entry);
     rob_.clear();
     fetchBuffer_.clear();
     ucodeQueue_.clear();
@@ -846,14 +860,20 @@ OooCore::fetchProgramOp()
         u.cls = OpClass::MemRead;
         u.mem = MemMode::Local;
         entry.addr = genAddress(op, pc);
+        entry.countedExec =
+            !entry.wrongPath && op.addr.kind == AddrKind::Stride;
         break;
       case MacroOpcode::Store:
         u.cls = OpClass::MemWrite;
         u.mem = MemMode::Local;
         entry.addr = genAddress(op, pc);
+        entry.countedExec =
+            !entry.wrongPath && op.addr.kind == AddrKind::Stride;
         break;
       case MacroOpcode::Branch: {
         u.cls = OpClass::Branch;
+        entry.countedExec =
+            !entry.wrongPath && op.branch.kind == BranchKind::Loop;
         entry.isBranch = true;
         entry.historyBefore = predictor_.history();
 

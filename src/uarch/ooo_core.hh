@@ -167,6 +167,11 @@ class OooCore
         bool actualTaken = false;
         bool mispredicted = false;
         bool wrongPath = false;
+        /** This op advanced execCount_[pc] at fetch (Loop branch /
+         * Stride address); a squash must undo the increment so the
+         * re-fetched instance observes the same architectural
+         * iteration count. */
+        bool countedExec = false;
         std::uint32_t correctTarget = 0;
         std::uint64_t historyBefore = 0;
         std::uint64_t dep1 = 0;
@@ -187,6 +192,8 @@ class OooCore
     void beginInjection();
     void loadUcodeForCurrent();
     void squashAll();
+    /** Undo a squashed entry's speculative execCount_ increment. */
+    void uncountExec(const RobEntry &entry);
     void squashYoungerThan(std::uint64_t seq,
                            std::uint32_t recovery_pc,
                            std::uint64_t history);

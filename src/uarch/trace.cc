@@ -82,4 +82,19 @@ StreamTracer::event(TraceEvent ev, Cycles cycle, std::uint64_t seq,
     os_ << '\n';
 }
 
+void
+TeeTracer::attach(Tracer *sink)
+{
+    if (sink != nullptr)
+        sinks_.push_back(sink);
+}
+
+void
+TeeTracer::event(TraceEvent ev, Cycles cycle, std::uint64_t seq,
+                 std::uint32_t pc, OpClass cls)
+{
+    for (Tracer *sink : sinks_)
+        sink->event(ev, cycle, seq, pc, cls);
+}
+
 } // namespace xui

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <vector>
 
 #include "des/time.hh"
 #include "uarch/op_types.hh"
@@ -35,6 +36,10 @@ enum class TraceEvent : std::uint8_t
     IntrDeliver,
     IntrReturn,
 };
+
+/** Number of TraceEvent enumerators (for tables indexed by event). */
+constexpr unsigned kNumTraceEvents =
+    static_cast<unsigned>(TraceEvent::IntrReturn) + 1;
 
 /** Name of a trace event (stable strings for output/tests). */
 const char *traceEventName(TraceEvent ev);
@@ -70,6 +75,26 @@ class StreamTracer : public Tracer
 
   private:
     std::ostream &os_;
+};
+
+/**
+ * Fan-out tracer: forwards every event to each attached sink in
+ * attachment order. Lets a core feed a digest, a recorder, and a
+ * text log simultaneously (the verify subsystem does exactly that).
+ */
+class TeeTracer : public Tracer
+{
+  public:
+    /** Attach a sink; nullptr is ignored. Not owned. */
+    void attach(Tracer *sink);
+
+    std::size_t numSinks() const { return sinks_.size(); }
+
+    void event(TraceEvent ev, Cycles cycle, std::uint64_t seq,
+               std::uint32_t pc, OpClass cls) override;
+
+  private:
+    std::vector<Tracer *> sinks_;
 };
 
 } // namespace xui

@@ -16,8 +16,17 @@ UarchSystem::addCore(const CoreParams &params, const Program *program)
         static_cast<unsigned>(cores_.size()), params, program,
         master_.split());
     core->setSystem(this);
+    core->setTracer(tracer_);
     cores_.push_back(std::move(core));
     return *cores_.back();
+}
+
+void
+UarchSystem::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    for (auto &core : cores_)
+        core->setTracer(tracer);
 }
 
 int

@@ -31,6 +31,13 @@ class UarchSystem
     /** Create a core running `program`; returns a stable reference. */
     OooCore &addCore(const CoreParams &params, const Program *program);
 
+    /**
+     * Attach one tracer to every core, present and future (nullptr
+     * detaches). Multi-core traces interleave per tick in core-id
+     * order, so a system-wide event stream is still deterministic.
+     */
+    void setTracer(Tracer *tracer);
+
     OooCore &core(std::size_t i) { return *cores_[i]; }
     std::size_t numCores() const { return cores_.size(); }
 
@@ -66,6 +73,7 @@ class UarchSystem
   private:
     Rng master_;
     Uitt uitt_;
+    Tracer *tracer_ = nullptr;
     std::vector<std::unique_ptr<OooCore>> cores_;
 };
 

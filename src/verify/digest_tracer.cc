@@ -1,0 +1,40 @@
+#include "verify/digest_tracer.hh"
+
+namespace xui
+{
+
+void
+DigestTracer::event(TraceEvent ev, Cycles cycle, std::uint64_t seq,
+                    std::uint32_t pc, OpClass cls)
+{
+    // Pack the discriminants into two words so the byte stream is
+    // unambiguous (no field-boundary aliasing between events).
+    full_.update((static_cast<std::uint64_t>(ev) << 8) |
+                 static_cast<std::uint64_t>(cls));
+    full_.update(cycle);
+    full_.update(seq);
+    full_.update(pc);
+
+    ++events_;
+    ++counts_[static_cast<unsigned>(ev)];
+
+    if (ev == TraceEvent::Commit && pc != kUcodePc) {
+        arch_.update(pc);
+        ++commits_;
+        if (commitPcs_ != nullptr)
+            commitPcs_->push_back(pc);
+    }
+}
+
+void
+DigestTracer::reset()
+{
+    full_.reset();
+    arch_.reset();
+    events_ = 0;
+    commits_ = 0;
+    for (auto &c : counts_)
+        c = 0;
+}
+
+} // namespace xui

@@ -1,0 +1,89 @@
+#include "verify/fuzz.hh"
+
+#include <algorithm>
+
+#include "stats/rng.hh"
+
+namespace xui
+{
+
+Program
+makeFuzzProgram(std::uint64_t seed, const FuzzProgramOptions &opts)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzz");
+    std::uint32_t top = b.here();
+    unsigned span = std::max(1u, opts.maxBody - opts.minBody + 1);
+    unsigned body = opts.minBody +
+        static_cast<unsigned>(rng.nextBounded(span));
+    for (unsigned i = 0; i < body; ++i) {
+        switch (rng.nextBounded(6)) {
+          case 0:
+            b.intAlu(static_cast<std::uint8_t>(
+                         reg::kGpr0 + rng.nextBounded(8)),
+                     static_cast<std::uint8_t>(
+                         reg::kGpr0 + rng.nextBounded(8)));
+            break;
+          case 1:
+            b.intMult(static_cast<std::uint8_t>(
+                          reg::kGpr0 + rng.nextBounded(8)),
+                      static_cast<std::uint8_t>(
+                          reg::kGpr0 + rng.nextBounded(8)));
+            break;
+          case 2:
+            b.fpAlu(static_cast<std::uint8_t>(
+                        reg::kFpr0 + rng.nextBounded(8)),
+                    static_cast<std::uint8_t>(
+                        reg::kFpr0 + rng.nextBounded(8)));
+            break;
+          case 3: {
+            AddrPattern a;
+            a.kind = AddrKind::Random;
+            a.base = 0x1000'0000ull + (rng.next() & 0xff000);
+            a.range = 1ull << (10 + rng.nextBounded(12));
+            b.load(static_cast<std::uint8_t>(
+                       reg::kGpr0 + rng.nextBounded(8)),
+                   a);
+            break;
+          }
+          case 4: {
+            AddrPattern a;
+            a.kind = AddrKind::Stride;
+            a.base = 0x2000'0000ull;
+            a.stride = 8 << rng.nextBounded(4);
+            a.range = 1ull << 18;
+            b.store(static_cast<std::uint8_t>(
+                        reg::kGpr0 + rng.nextBounded(8)),
+                    a);
+            break;
+          }
+          case 5:
+            if (opts.deterministicControl) {
+                // Trip-counted inner loop back to the top: control
+                // flow stays a pure function of the program.
+                if (rng.nextBool(0.35))
+                    b.loopBranch(top, 2 + rng.nextBounded(6));
+                else
+                    b.nop();
+            } else if (rng.nextBool(0.5)) {
+                b.randomBranch(top, rng.nextDouble() * 0.6);
+            } else {
+                b.nop();
+            }
+            break;
+        }
+        if (opts.withSafepoints && rng.nextBool(0.2))
+            b.markSafepoint();
+    }
+    if (opts.withSafepoints)
+        b.safepoint();
+    b.loopBranch(top, 8 + rng.nextBounded(120));
+    b.jump(top);
+    b.beginHandler();
+    for (unsigned i = 0; i < 1 + rng.nextBounded(12); ++i)
+        b.intAlu(reg::kGpr0 + 12, reg::kGpr0 + 12);
+    b.uiret();
+    return b.build();
+}
+
+} // namespace xui

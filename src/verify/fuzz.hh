@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Random-program generation for verification fuzzing.
+ *
+ * Generates well-formed looping programs (body of mixed ALU / FP /
+ * memory ops, a trip-counted outer loop, a uiret handler) from a
+ * seed. Two knobs matter to the checkers:
+ *
+ *  - `deterministicControl`: restrict branches to trip-counted loop
+ *    branches so the committed main-code PC stream is a pure
+ *    function of the program — the property the cross-seed and
+ *    cross-delivery-mode architectural-equivalence checks rely on.
+ *    Random-direction branches draw from the core's private RNG, so
+ *    they are reproducible for a fixed system seed but not across
+ *    seeds.
+ *  - `withSafepoints`: sprinkle hardware-safepoint prefixes so
+ *    safepoint-gated delivery (§4.4) can be fuzzed too.
+ */
+
+#ifndef XUI_VERIFY_FUZZ_HH
+#define XUI_VERIFY_FUZZ_HH
+
+#include <cstdint>
+
+#include "uarch/program.hh"
+
+namespace xui
+{
+
+/** Shape of a generated fuzz program. */
+struct FuzzProgramOptions
+{
+    /** Emit safepoint prefixes / a safepoint in the loop. */
+    bool withSafepoints = false;
+    /** Only trip-counted control flow (see file comment). */
+    bool deterministicControl = false;
+    /** Loop-body instruction count bounds. */
+    unsigned minBody = 4;
+    unsigned maxBody = 28;
+};
+
+/** Build a random but well-formed looping program from `seed`. */
+Program makeFuzzProgram(std::uint64_t seed,
+                        const FuzzProgramOptions &opts = {});
+
+} // namespace xui
+
+#endif // XUI_VERIFY_FUZZ_HH

@@ -1,0 +1,200 @@
+#include "verify/scenario.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "intr/kb_timer.hh"
+#include "uarch/uarch_system.hh"
+#include "verify/digest_tracer.hh"
+
+namespace xui
+{
+
+namespace
+{
+
+void
+checkInterruptFacts(const CoreStats &s, ScenarioResult &out)
+{
+    if (s.interruptsRaised < s.interruptsDelivered) {
+        std::ostringstream os;
+        os << "duplicated deliveries: raised "
+           << s.interruptsRaised << " < delivered "
+           << s.interruptsDelivered;
+        out.violations.push_back(os.str());
+    }
+    if (s.interruptsRaised - s.interruptsDelivered > 1) {
+        std::ostringstream os;
+        os << "lost interrupts: raised " << s.interruptsRaised
+           << ", delivered " << s.interruptsDelivered
+           << " (more than one in flight)";
+        out.violations.push_back(os.str());
+    }
+    // A record is closed at uiret commit, so a run that ends while
+    // the final handler is still in flight legitimately has one
+    // open (unpushed) record.
+    if (s.intrRecords.size() > s.interruptsDelivered ||
+        s.intrRecords.size() + 1 < s.interruptsDelivered) {
+        std::ostringstream os;
+        os << "record count " << s.intrRecords.size()
+           << " inconsistent with delivered "
+           << s.interruptsDelivered;
+        out.violations.push_back(os.str());
+    }
+    Cycles prev_uiret = 0;
+    for (std::size_t i = 0; i < s.intrRecords.size(); ++i) {
+        const IntrRecord &r = s.intrRecords[i];
+        const bool mono = r.acceptedAt >= r.raisedAt &&
+            r.injectedAt >= r.acceptedAt &&
+            r.deliveryCommitAt >= r.firstUopCommitAt &&
+            r.uiretCommitAt > r.deliveryCommitAt &&
+            r.injectedAt >= prev_uiret;
+        if (!mono) {
+            std::ostringstream os;
+            os << "record " << i
+               << " timeline not monotonic (raised " << r.raisedAt
+               << ", accepted " << r.acceptedAt << ", injected "
+               << r.injectedAt << ", deliveryCommit "
+               << r.deliveryCommitAt << ", uiret "
+               << r.uiretCommitAt << ", prev uiret " << prev_uiret
+               << ")";
+            out.violations.push_back(os.str());
+        }
+        prev_uiret = r.uiretCommitAt;
+    }
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const ScenarioConfig &cfg, TraceLog *capture,
+            Tracer *extraTracer)
+{
+    ScenarioResult out;
+    Program prog = makeFuzzProgram(cfg.programSeed, cfg.program);
+
+    CoreParams params;
+    params.strategy = cfg.strategy;
+    params.safepointMode = cfg.safepointMode;
+
+    UarchSystem sys(cfg.systemSeed);
+
+    DigestTracer digest;
+    std::vector<std::uint32_t> commitPcs;
+    digest.collectCommitPcs(&commitPcs);
+
+    TeeTracer tee;
+    tee.attach(&digest);
+    TraceLog unused;
+    LogTracer logger(capture != nullptr ? *capture : unused);
+    if (capture != nullptr) {
+        capture->clear();
+        tee.attach(&logger);
+    }
+    tee.attach(extraTracer);
+    sys.setTracer(&tee);
+
+    OooCore &core = sys.addCore(params, &prog);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, cfg.timerPeriod,
+                            KbTimerMode::Periodic);
+
+    core.runUntilCommitted(cfg.targetInsts, cfg.maxCycles);
+    core.runCycles(cfg.extraCycles);
+
+    const CoreStats &s = core.stats();
+    out.fullDigest = digest.fullDigest();
+    out.archDigest = digest.archDigest();
+    out.eventCount = digest.eventCount();
+    out.committedInsts = s.committedInsts;
+    out.committedUops = s.committedUops;
+    out.fetchedUops = s.fetchedUops;
+    out.squashedUops = s.squashedUops;
+    out.raised = s.interruptsRaised;
+    out.delivered = s.interruptsDelivered;
+    out.reinjections = s.reinjections;
+    out.cycles = core.now();
+
+    const std::uint32_t handler_entry = prog.handlerEntry();
+    out.mainPcs.reserve(commitPcs.size());
+    for (std::uint32_t pc : commitPcs) {
+        if (pc < handler_entry)
+            out.mainPcs.push_back(pc);
+        else
+            ++out.handlerCommits;
+    }
+
+    double exec_sum = 0.0, commit_sum = 0.0;
+    for (const IntrRecord &r : s.intrRecords) {
+        exec_sum +=
+            static_cast<double>(r.deliveryExecAt - r.raisedAt);
+        commit_sum +=
+            static_cast<double>(r.deliveryCommitAt - r.raisedAt);
+    }
+    if (!s.intrRecords.empty()) {
+        double n = static_cast<double>(s.intrRecords.size());
+        out.meanHandlerStartLatency = exec_sum / n;
+        out.meanDeliveryCommitLatency = commit_sum / n;
+    }
+
+    if (s.committedInsts < cfg.targetInsts)
+        out.violations.push_back("pipeline wedged: committed fewer "
+                                 "instructions than targeted");
+    if (s.committedUops > s.fetchedUops)
+        out.violations.push_back(
+            "conservation violated: committed > fetched uops");
+    checkInterruptFacts(s, out);
+    return out;
+}
+
+DeterminismReport
+checkDeterminism(const ScenarioConfig &cfg)
+{
+    DeterminismReport rep;
+    ScenarioResult a = runScenario(cfg);
+    ScenarioResult b = runScenario(cfg);
+    rep.digestA = a.fullDigest;
+    rep.digestB = b.fullDigest;
+    rep.eventsA = a.eventCount;
+    rep.eventsB = b.eventCount;
+    rep.ok = a.fullDigest == b.fullDigest &&
+        a.eventCount == b.eventCount;
+    if (!rep.ok) {
+        std::ostringstream os;
+        os << "nondeterminism: digests " << std::hex << rep.digestA
+           << " vs " << rep.digestB << std::dec << ", events "
+           << rep.eventsA << " vs " << rep.eventsB;
+        rep.message = os.str();
+    }
+    return rep;
+}
+
+ArchEquivalenceReport
+checkArchEquivalence(const ScenarioResult &a, const ScenarioResult &b,
+                     std::size_t minPrefix)
+{
+    ArchEquivalenceReport rep;
+    std::size_t prefix = std::min(a.mainPcs.size(), b.mainPcs.size());
+    rep.comparedPrefix = prefix;
+    if (prefix < minPrefix) {
+        std::ostringstream os;
+        os << "main-code commit streams too short to compare ("
+           << a.mainPcs.size() << " and " << b.mainPcs.size()
+           << ", need " << minPrefix << ")";
+        rep.message = os.str();
+        return rep;
+    }
+    for (std::size_t i = 0; i < prefix; ++i) {
+        if (a.mainPcs[i] != b.mainPcs[i]) {
+            std::ostringstream os;
+            os << "commit streams diverge at index " << i << ": pc "
+               << a.mainPcs[i] << " vs " << b.mainPcs[i];
+            rep.message = os.str();
+            return rep;
+        }
+    }
+    rep.ok = true;
+    return rep;
+}
+
+} // namespace xui

@@ -1,0 +1,206 @@
+#include "verify/trace_log.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "stats/digest.hh"
+
+namespace xui
+{
+
+namespace
+{
+
+constexpr std::size_t kPackedSize = 8 + 8 + 4 + 1 + 1;
+
+void
+packRecord(const TraceRecord &r, std::uint8_t *out)
+{
+    std::uint64_t cycle = r.cycle;
+    std::uint64_t seq = r.seq;
+    std::uint32_t pc = r.pc;
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(cycle >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        out[8 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+    for (int i = 0; i < 4; ++i)
+        out[16 + i] = static_cast<std::uint8_t>(pc >> (8 * i));
+    out[20] = r.ev;
+    out[21] = r.cls;
+}
+
+TraceRecord
+unpackRecord(const std::uint8_t *in)
+{
+    TraceRecord r;
+    std::uint64_t cycle = 0, seq = 0;
+    std::uint32_t pc = 0;
+    for (int i = 0; i < 8; ++i)
+        cycle |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    for (int i = 0; i < 8; ++i)
+        seq |= static_cast<std::uint64_t>(in[8 + i]) << (8 * i);
+    for (int i = 0; i < 4; ++i)
+        pc |= static_cast<std::uint32_t>(in[16 + i]) << (8 * i);
+    r.cycle = cycle;
+    r.seq = seq;
+    r.pc = pc;
+    r.ev = in[20];
+    r.cls = in[21];
+    return r;
+}
+
+std::string
+renderRecord(const TraceRecord &r)
+{
+    std::ostringstream os;
+    os << traceEventName(static_cast<TraceEvent>(r.ev)) << " cycle:"
+       << r.cycle << " sn:" << r.seq << " pc:";
+    if (r.pc == 0xffffffffu)
+        os << "ucode";
+    else
+        os << r.pc;
+    os << " cls:" << static_cast<unsigned>(r.cls);
+    return os.str();
+}
+
+} // namespace
+
+std::uint64_t
+TraceLog::digest() const
+{
+    Fnv1a h;
+    std::uint8_t buf[kPackedSize];
+    for (const TraceRecord &r : records_) {
+        packRecord(r, buf);
+        h.update(buf, sizeof(buf));
+    }
+    return h.value();
+}
+
+bool
+TraceLog::save(std::ostream &os) const
+{
+    os.write(kMagic, sizeof(kMagic));
+    std::uint64_t count = records_.size();
+    std::uint8_t hdr[8];
+    for (int i = 0; i < 8; ++i)
+        hdr[i] = static_cast<std::uint8_t>(count >> (8 * i));
+    os.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+    std::uint8_t buf[kPackedSize];
+    for (const TraceRecord &r : records_) {
+        packRecord(r, buf);
+        os.write(reinterpret_cast<const char *>(buf), sizeof(buf));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+TraceLog::load(std::istream &is)
+{
+    records_.clear();
+    char magic[sizeof(kMagic)];
+    if (!is.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    std::uint8_t hdr[8];
+    if (!is.read(reinterpret_cast<char *>(hdr), sizeof(hdr)))
+        return false;
+    std::uint64_t count = 0;
+    for (int i = 0; i < 8; ++i)
+        count |= static_cast<std::uint64_t>(hdr[i]) << (8 * i);
+    records_.reserve(count);
+    std::uint8_t buf[kPackedSize];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!is.read(reinterpret_cast<char *>(buf), sizeof(buf))) {
+            records_.clear();
+            return false;
+        }
+        records_.push_back(unpackRecord(buf));
+    }
+    return true;
+}
+
+bool
+TraceLog::saveFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && save(os);
+}
+
+bool
+TraceLog::loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && load(is);
+}
+
+void
+LogTracer::event(TraceEvent ev, Cycles cycle, std::uint64_t seq,
+                 std::uint32_t pc, OpClass cls)
+{
+    TraceRecord r;
+    r.cycle = cycle;
+    r.seq = seq;
+    r.pc = pc;
+    r.ev = static_cast<std::uint8_t>(ev);
+    r.cls = static_cast<std::uint8_t>(cls);
+    log_.append(r);
+}
+
+void
+ReplayTracer::event(TraceEvent ev, Cycles cycle, std::uint64_t seq,
+                    std::uint32_t pc, OpClass cls)
+{
+    ++received_;
+    if (diverged_)
+        return;
+    TraceRecord live;
+    live.cycle = cycle;
+    live.seq = seq;
+    live.pc = pc;
+    live.ev = static_cast<std::uint8_t>(ev);
+    live.cls = static_cast<std::uint8_t>(cls);
+    if (position_ >= golden_.size()) {
+        diverged_ = true;
+        divergenceIndex_ = position_;
+        expected_ = TraceRecord{};
+        actual_ = live;
+        return;
+    }
+    const TraceRecord &want = golden_.at(position_);
+    if (!(want == live)) {
+        diverged_ = true;
+        divergenceIndex_ = position_;
+        expected_ = want;
+        actual_ = live;
+        return;
+    }
+    ++position_;
+}
+
+std::string
+ReplayTracer::message() const
+{
+    if (ok())
+        return "";
+    std::ostringstream os;
+    if (diverged_) {
+        os << "divergence at event " << divergenceIndex_;
+        if (divergenceIndex_ >= golden_.size()) {
+            os << ": golden trace ended, live run emitted ["
+               << renderRecord(actual_) << "]";
+        } else {
+            os << ": expected [" << renderRecord(expected_)
+               << "] got [" << renderRecord(actual_) << "]";
+        }
+    } else {
+        os << "live run ended early: matched " << position_ << " of "
+           << golden_.size() << " golden events";
+    }
+    return os.str();
+}
+
+} // namespace xui

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * xui_verify — the standalone verification driver.
+ *
+ * Fuzzes N random programs across K system seeds and, for every
+ * (program, seed) pair:
+ *
+ *  - runs the double-run determinism check (identical full timing
+ *    digests from identical seeds);
+ *  - runs the three-way delivery-mode differential (flush / drain /
+ *    tracked must retire identical main-code commit streams, lose
+ *    no interrupts, and respect the Fig. 2 latency ordering);
+ *  - checks cross-seed architectural equivalence (different system
+ *    seeds perturb timing, never the committed program).
+ *
+ * Exit status is 0 iff every check passed, so the driver doubles as
+ * the regression backstop for performance PRs: any change that
+ * perturbs architectural behaviour, loses an interrupt, or breaks
+ * determinism fails the run.
+ *
+ * Golden traces: --record FILE writes the binary trace of one
+ * scenario; --replay FILE re-runs the same scenario and reports the
+ * first divergence from the recorded stream.
+ *
+ * Usage:
+ *   xui_verify [--programs N] [--seeds K] [--insts M]
+ *              [--timer-us U] [--safepoints] [--quiet]
+ *              [--record FILE | --replay FILE]
+ *              [--record-seed S]
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/table.hh"
+#include "verify/differential.hh"
+#include "verify/scenario.hh"
+
+using namespace xui;
+
+namespace
+{
+
+struct Options
+{
+    std::uint64_t programs = 20;
+    std::uint64_t seeds = 2;
+    std::uint64_t insts = 20000;
+    double timerUs = 2.0;
+    bool safepoints = false;
+    bool quiet = false;
+    std::string recordPath;
+    std::string replayPath;
+    std::uint64_t recordSeed = 1;
+};
+
+void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--programs N] [--seeds K] [--insts M] [--timer-us U]\n"
+        << "       [--safepoints] [--quiet]\n"
+        << "       [--record FILE | --replay FILE] "
+        << "[--record-seed S]\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--programs") == 0) {
+            const char *v = need("--programs");
+            if (!v)
+                return false;
+            opt.programs = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--seeds") == 0) {
+            const char *v = need("--seeds");
+            if (!v)
+                return false;
+            opt.seeds = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--insts") == 0) {
+            const char *v = need("--insts");
+            if (!v)
+                return false;
+            opt.insts = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--timer-us") == 0) {
+            const char *v = need("--timer-us");
+            if (!v)
+                return false;
+            opt.timerUs = std::strtod(v, nullptr);
+        } else if (std::strcmp(argv[i], "--safepoints") == 0) {
+            opt.safepoints = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            opt.quiet = true;
+        } else if (std::strcmp(argv[i], "--record") == 0) {
+            const char *v = need("--record");
+            if (!v)
+                return false;
+            opt.recordPath = v;
+        } else if (std::strcmp(argv[i], "--replay") == 0) {
+            const char *v = need("--replay");
+            if (!v)
+                return false;
+            opt.replayPath = v;
+        } else if (std::strcmp(argv[i], "--record-seed") == 0) {
+            const char *v = need("--record-seed");
+            if (!v)
+                return false;
+            opt.recordSeed = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::cerr << "unknown flag: " << argv[i] << '\n';
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+ScenarioConfig
+goldenScenario(const Options &opt)
+{
+    ScenarioConfig cfg;
+    cfg.programSeed = opt.recordSeed;
+    cfg.systemSeed = opt.recordSeed;
+    cfg.strategy = DeliveryStrategy::Tracked;
+    cfg.program.deterministicControl = true;
+    cfg.timerPeriod = usToCycles(opt.timerUs);
+    cfg.targetInsts = opt.insts;
+    return cfg;
+}
+
+int
+recordGolden(const Options &opt)
+{
+    TraceLog log;
+    ScenarioResult r = runScenario(goldenScenario(opt), &log);
+    if (!log.saveFile(opt.recordPath)) {
+        std::cerr << "failed to write " << opt.recordPath << '\n';
+        return 1;
+    }
+    std::cout << "recorded " << log.size() << " events, digest 0x"
+              << std::hex << log.digest() << std::dec << " ("
+              << r.committedInsts << " insts, " << r.delivered
+              << " deliveries) to " << opt.recordPath << '\n';
+    return 0;
+}
+
+int
+replayGolden(const Options &opt)
+{
+    TraceLog golden;
+    if (!golden.loadFile(opt.replayPath)) {
+        std::cerr << "failed to load " << opt.replayPath << '\n';
+        return 1;
+    }
+    ReplayTracer replay(golden);
+    runScenario(goldenScenario(opt), nullptr, &replay);
+    if (!replay.ok()) {
+        std::cerr << "REPLAY FAIL: " << replay.message() << '\n';
+        return 1;
+    }
+    std::cout << "replay OK: " << replay.received()
+              << " events matched the golden trace\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+
+    if (!opt.recordPath.empty())
+        return recordGolden(opt);
+    if (!opt.replayPath.empty())
+        return replayGolden(opt);
+
+    std::uint64_t runs = 0;
+    std::uint64_t determinismFails = 0;
+    std::uint64_t differentialFails = 0;
+    std::uint64_t crossSeedFails = 0;
+    std::vector<std::string> failures;
+
+    double flushLat = 0, drainLat = 0, trackedLat = 0;
+    std::uint64_t latSamples = 0;
+
+    for (std::uint64_t p = 0; p < opt.programs; ++p) {
+        // Offset so program 0 differs from the suite's unit tests.
+        std::uint64_t program_seed = 1000 + p;
+        ScenarioResult firstSeedTracked;
+        for (std::uint64_t s = 0; s < opt.seeds; ++s) {
+            std::uint64_t system_seed = 1 + s;
+            ScenarioConfig cfg;
+            cfg.programSeed = program_seed;
+            cfg.systemSeed = system_seed;
+            cfg.program.deterministicControl = true;
+            cfg.program.withSafepoints = opt.safepoints;
+            cfg.safepointMode = opt.safepoints;
+            cfg.timerPeriod = usToCycles(opt.timerUs);
+            cfg.targetInsts = opt.insts;
+            ++runs;
+
+            DeterminismReport det = checkDeterminism(cfg);
+            if (!det.ok) {
+                ++determinismFails;
+                failures.push_back(
+                    "program " + std::to_string(program_seed) +
+                    " seed " + std::to_string(system_seed) + ": " +
+                    det.message);
+            }
+
+            DifferentialReport diff = runDifferential(cfg);
+            if (!diff.ok()) {
+                ++differentialFails;
+                for (const std::string &v : diff.violations)
+                    failures.push_back(
+                        "program " + std::to_string(program_seed) +
+                        " seed " + std::to_string(system_seed) +
+                        ": " + v);
+            }
+            if (diff.flush.delivered > 0 &&
+                diff.drain.delivered > 0 &&
+                diff.tracked.delivered > 0) {
+                flushLat += diff.flush.meanHandlerStartLatency;
+                drainLat += diff.drain.meanHandlerStartLatency;
+                trackedLat += diff.tracked.meanHandlerStartLatency;
+                ++latSamples;
+            }
+
+            if (s == 0) {
+                firstSeedTracked = std::move(diff.tracked);
+            } else {
+                ArchEquivalenceReport eq = checkArchEquivalence(
+                    firstSeedTracked, diff.tracked, 1000);
+                if (!eq.ok) {
+                    ++crossSeedFails;
+                    failures.push_back(
+                        "program " + std::to_string(program_seed) +
+                        " seeds 1 vs " +
+                        std::to_string(system_seed) +
+                        " (tracked): " + eq.message);
+                }
+            }
+        }
+    }
+
+    TablePrinter t("xui_verify: " + std::to_string(opt.programs) +
+                   " programs x " + std::to_string(opt.seeds) +
+                   " seeds x 3 delivery modes");
+    t.setHeader({"Check", "Runs", "Failures"});
+    t.addRow({"determinism (double run)",
+              TablePrinter::integer(
+                  static_cast<std::int64_t>(runs)),
+              TablePrinter::integer(
+                  static_cast<std::int64_t>(determinismFails))});
+    t.addRow({"cross-mode differential",
+              TablePrinter::integer(
+                  static_cast<std::int64_t>(runs)),
+              TablePrinter::integer(
+                  static_cast<std::int64_t>(differentialFails))});
+    t.addRow({"cross-seed arch equivalence",
+              TablePrinter::integer(static_cast<std::int64_t>(
+                  opt.programs *
+                  (opt.seeds > 0 ? opt.seeds - 1 : 0))),
+              TablePrinter::integer(
+                  static_cast<std::int64_t>(crossSeedFails))});
+    t.addRule();
+    if (latSamples > 0) {
+        double n = static_cast<double>(latSamples);
+        t.addRow({"mean handler-start latency (flush)",
+                  TablePrinter::num(flushLat / n, 1), "cycles"});
+        t.addRow({"mean handler-start latency (drain)",
+                  TablePrinter::num(drainLat / n, 1), "cycles"});
+        t.addRow({"mean handler-start latency (tracked)",
+                  TablePrinter::num(trackedLat / n, 1), "cycles"});
+    }
+    t.print(std::cout);
+
+    if (!failures.empty()) {
+        std::cout << "\nFailures:\n";
+        std::size_t shown = 0;
+        for (const std::string &f : failures) {
+            std::cout << "  " << f << '\n';
+            if (++shown >= 40 && !opt.quiet) {
+                std::cout << "  ... (" << failures.size() - shown
+                          << " more)\n";
+                break;
+            }
+        }
+        std::cout << "\nFAIL\n";
+        return 1;
+    }
+    std::cout << "\nPASS\n";
+    return 0;
+}
