@@ -18,6 +18,7 @@
 
 #include "bench_util.hh"
 #include "net/l3fwd.hh"
+#include "obs_util.hh"
 #include "stats/table.hh"
 #include "uarch/uarch_system.hh"
 #include "workloads/kernels.hh"
@@ -225,5 +226,8 @@ main(int argc, char **argv)
     safepointDensity(insts);
     reinjectionPressure(insts);
     mwaitComparison(opts.quick);
-    return 0;
+
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    bench::runObsScenario(obs, opts);
+    return obs.finish();
 }

@@ -1,8 +1,12 @@
 /**
  * @file
  * Shared helpers for the bench binaries: flag parsing and header
- * banners. Every bench accepts `--quick` (shorter runs for CI) and
- * `--seed N`.
+ * banners. Every bench accepts `--quick` (shorter runs for CI),
+ * `--seed N`, and the observability flags `--metrics-json FILE` /
+ * `--trace-json FILE` (src/obs: metrics snapshot and Perfetto-
+ * loadable Chrome trace export). Unknown flags and flags missing
+ * their value are errors: usage goes to stderr and the bench exits
+ * with status 2.
  */
 
 #ifndef XUI_BENCH_BENCH_UTIL_HH
@@ -12,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace xui::bench
 {
@@ -20,21 +25,63 @@ struct Options
 {
     bool quick = false;
     std::uint64_t seed = 1;
+    /** `--metrics-json FILE`: write a metrics snapshot ("" = off). */
+    std::string metricsJson;
+    /** `--trace-json FILE`: write a Chrome trace ("" = off). */
+    std::string traceJson;
 };
+
+inline void
+printUsage(std::FILE *out, const char *prog)
+{
+    std::fprintf(out,
+                 "usage: %s [--quick] [--seed N] "
+                 "[--metrics-json FILE] [--trace-json FILE]\n",
+                 prog);
+}
 
 inline Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--quick") == 0) {
             opts.quick = true;
-        } else if (std::strcmp(argv[i], "--seed") == 0 &&
-                   i + 1 < argc) {
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --seed needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
             opts.seed = std::strtoull(argv[++i], nullptr, 10);
-        } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--quick] [--seed N]\n", argv[0]);
+        } else if (std::strcmp(arg, "--metrics-json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --metrics-json needs a file\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            opts.metricsJson = argv[++i];
+        } else if (std::strcmp(arg, "--trace-json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --trace-json needs a file\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            opts.traceJson = argv[++i];
+        } else if (std::strcmp(arg, "--help") == 0) {
+            printUsage(stdout, argv[0]);
             std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                         argv[0], arg);
+            printUsage(stderr, argv[0]);
+            std::exit(2);
         }
     }
     return opts;

@@ -13,6 +13,7 @@
 
 #include "bench_util.hh"
 #include "core/calibration.hh"
+#include "obs_util.hh"
 #include "stats/table.hh"
 #include "uarch/uarch_system.hh"
 #include "workloads/kernels.hh"
@@ -148,5 +149,8 @@ main(int argc, char **argv)
 
     flushDetectionSweep(opts.quick);
     squashLinearity(opts.quick);
-    return 0;
+
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    bench::runObsScenario(obs, opts);
+    return obs.finish();
 }

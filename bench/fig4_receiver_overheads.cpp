@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "obs_util.hh"
 #include "stats/table.hh"
 #include "uarch/uarch_system.hh"
 #include "workloads/kernels.hh"
@@ -161,5 +162,25 @@ main(int argc, char **argv)
     i.print(std::cout);
     std::cout << "(Paper: 6.86% for UIPI at 5us -> 1.06% for "
                  "KB_Timer+tracking, a 6.9x reduction.)\n";
-    return 0;
+
+    // Observability run: UserIpi flavour (periodic injectUipi), so
+    // this bench's span export covers the SW-timer source.
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    if (obs.enabled()) {
+        Program prog = makeFib();
+        CoreParams params;
+        params.strategy = DeliveryStrategy::Tracked;
+        UarchSystem sys(opts.seed);
+        OooCore &core = sys.addCore(params, &prog);
+        obs.attach(sys);
+        core.upid().setNotificationVector(core.uinv());
+        core.upid().setDestination(core.id());
+        Cycles total = opts.quick ? 20000 : 100000;
+        for (Cycles c = 0; c < total; c += usToCycles(5)) {
+            sys.run(usToCycles(5));
+            sys.injectUipi(core, 3);
+        }
+        obs.publishCore(core);
+    }
+    return obs.finish();
 }

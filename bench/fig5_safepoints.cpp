@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "obs_util.hh"
 #include "stats/table.hh"
 #include "uarch/uarch_system.hh"
 #include "workloads/kernels.hh"
@@ -134,5 +135,8 @@ main(int argc, char **argv)
     }
     std::cout << "(Paper at 5us: safepoints 1.2-1.5%, polling "
                  "8.5-11%, UIPI in between and imprecise.)\n";
-    return 0;
+
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    bench::runObsScenario(obs, opts);
+    return obs.finish();
 }

@@ -10,6 +10,8 @@
 
 #include "bench_util.hh"
 #include "des/simulation.hh"
+#include "obs/session.hh"
+#include "os/kernel.hh"
 #include "os/timer_core.hh"
 #include "stats/table.hh"
 
@@ -73,5 +75,26 @@ main(int argc, char **argv)
               << " cores (paper: ~22; senduipi-limited)\n";
     std::cout << "xUI: zero timer-core cycles at every point — each "
                  "core's KB timer is local.\n";
-    return 0;
+
+    // Observability run: a setitimer-driven timer core at the 5us
+    // interval plus the kernel's interval-timer machinery, so the
+    // DES event stream and kernel.* counters land in the export.
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    if (obs.enabled()) {
+        Simulation sim(opts.seed);
+        obs.attach(sim.queue(), 0, "timer_core");
+        Kernel kernel(sim, costs, 1);
+        kernel.attachMetrics(*obs.metrics());
+        ThreadId thread = kernel.createThread();
+        kernel.registerHandler(thread, [](unsigned) {});
+        kernel.scheduleOn(thread, 0);
+        kernel.setInterval(thread, usToCycles(5));
+        TimerCoreModel model(sim, costs, TimerInterface::Setitimer,
+                             usToCycles(5), 8);
+        model.attachMetrics(*obs.metrics());
+        model.run(duration);
+        sim.runUntil(duration);
+        model.publish();
+    }
+    return obs.finish();
 }

@@ -11,6 +11,7 @@
 
 #include "bench_util.hh"
 #include "kv/server.hh"
+#include "obs/session.hh"
 #include "stats/table.hh"
 
 using namespace xui;
@@ -106,5 +107,19 @@ main(int argc, char **argv)
                   << TablePrinter::num(gain, 1)
                   << "% (paper: ~10%), plus the freed timer core.\n";
     }
-    return 0;
+
+    // Observability run: one xUI server run with kv.* metrics and
+    // the DES event stream attached.
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    if (obs.enabled()) {
+        KvServerConfig cfg;
+        cfg.mode = PreemptMode::XuiKbTimer;
+        cfg.offeredLoadRps = 100000;
+        cfg.duration = (opts.quick ? 20 : 100) * kCyclesPerMs;
+        cfg.seed = opts.seed;
+        cfg.metrics = obs.metrics();
+        cfg.traceOut = obs.trace();
+        runKvServer(cfg);
+    }
+    return obs.finish();
 }

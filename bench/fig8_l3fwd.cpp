@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "net/l3fwd.hh"
+#include "obs/session.hh"
 #include "stats/table.hh"
 
 using namespace xui;
@@ -76,5 +77,21 @@ main(int argc, char **argv)
            "at 40% load with 1 queue\nxUI leaves ~45% of cycles "
            "free; throughput within 0.08%; p95 within +2%/-8%/+65%\n"
            "for 1/4/8 NICs.\n";
-    return 0;
+
+    // Observability run: one xUI-forwarded run with l3fwd.* metrics
+    // and the DES event stream attached.
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    if (obs.enabled()) {
+        L3FwdConfig cfg;
+        cfg.mode = RxMode::XuiForwarded;
+        cfg.numNics = 2;
+        cfg.load = 0.4;
+        cfg.duration = (opts.quick ? 10 : 40) * kCyclesPerMs;
+        cfg.routeCount = opts.quick ? 2000 : 16000;
+        cfg.seed = opts.seed;
+        cfg.metrics = obs.metrics();
+        cfg.traceOut = obs.trace();
+        runL3Fwd(cfg);
+    }
+    return obs.finish();
 }

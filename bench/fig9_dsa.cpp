@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "accel/client.hh"
+#include "obs/session.hh"
 #include "stats/table.hh"
 
 using namespace xui;
@@ -70,5 +71,20 @@ main(int argc, char **argv)
            "within 0.2us of spinning at all noise levels and frees "
            "~75% of cycles for 2us\noffloads (~50K IOPS for 20us "
            "offloads).\n";
-    return 0;
+
+    // Observability run: one xUI-interrupt client run with dsa.*
+    // metrics and per-offload trace spans attached.
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    if (obs.enabled()) {
+        DsaClientConfig cfg;
+        cfg.strategy = WaitStrategy::XuiInterrupt;
+        cfg.latency.meanServiceTime = usToCycles(2.0);
+        cfg.latency.noiseFraction = 0.2;
+        cfg.duration = (opts.quick ? 10 : 50) * kCyclesPerMs;
+        cfg.seed = opts.seed;
+        cfg.metrics = obs.metrics();
+        cfg.traceOut = obs.trace();
+        runDsaClient(cfg);
+    }
+    return obs.finish();
 }

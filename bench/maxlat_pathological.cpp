@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "obs_util.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "uarch/uarch_system.hh"
@@ -88,5 +89,8 @@ main(int argc, char **argv)
            "of magnitude lower there (it squashes the chain), while\n"
            "on typical workloads tracking is faster (see fig4 "
            "bench).\n";
-    return 0;
+
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    bench::runObsScenario(obs, opts);
+    return obs.finish();
 }

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Observability wiring shared by the bench binaries.
+ *
+ * Benches whose headline numbers come from the cycle tier call
+ * runObsScenario() before ObsSession::finish(): when the user passed
+ * `--metrics-json` / `--trace-json` it executes one representative
+ * instrumented scenario — fib under a periodic 5 us KB timer with
+ * tracked delivery — so the exported files always carry interrupt-
+ * lifecycle spans, per-core pipeline events, and core counters. The
+ * benches' own measurement runs stay uninstrumented (null observer,
+ * identical timing).
+ */
+
+#ifndef XUI_BENCH_OBS_UTIL_HH
+#define XUI_BENCH_OBS_UTIL_HH
+
+#include "bench_util.hh"
+#include "obs/session.hh"
+#include "workloads/kernels.hh"
+
+namespace xui::bench
+{
+
+inline void
+runObsScenario(ObsSession &obs, const Options &opts)
+{
+    if (!obs.enabled())
+        return;
+    Program prog = makeFib();
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(opts.seed);
+    OooCore &core = sys.addCore(params, &prog);
+    obs.attach(sys);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(5), KbTimerMode::Periodic);
+    core.runCycles(opts.quick ? 20000 : 100000);
+    obs.publishCore(core);
+}
+
+} // namespace xui::bench
+
+#endif // XUI_BENCH_OBS_UTIL_HH

@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "core/calibration.hh"
+#include "obs_util.hh"
 #include "os/cost_model.hh"
 #include "stats/table.hh"
 
@@ -64,5 +65,8 @@ main(int argc, char **argv)
               TablePrinter::num(c.receiverCostKbTimer, 0),
               "no UPID access"});
     m.print(std::cout);
-    return 0;
+
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    bench::runObsScenario(obs, opts);
+    return obs.finish();
 }

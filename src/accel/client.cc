@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace_export.hh"
 
 namespace xui
 {
@@ -33,6 +37,14 @@ class ClientRun
         double seconds = cyclesToUs(config_.duration) / 1e6;
         result_.ipos =
             static_cast<double>(completedCount_) / seconds;
+        if (config_.metrics != nullptr) {
+            MetricsRegistry &r = *config_.metrics;
+            r.counter("dsa.offloads").inc(result_.offloads);
+            r.latency("dsa.delivery").merge(result_.deliveryLatency);
+            r.latency("dsa.request").merge(result_.requestLatency);
+            r.gauge("dsa.free_frac").set(result_.freeFrac);
+            r.gauge("dsa.ipos").set(result_.ipos);
+        }
         return result_;
     }
 
@@ -101,6 +113,12 @@ class ClientRun
             static_cast<std::int64_t>(done - comp.submittedAt));
         ++completedCount_;
         lastEnd_ = done;
+        if (config_.traceOut != nullptr) {
+            config_.traceOut->complete(
+                "offload", "dsa", comp.submittedAt, done,
+                kTracePidDes, 0,
+                "{\"id\": " + std::to_string(comp.id) + "}");
+        }
 
         sim_.queue().scheduleAt(done, [this] { submitNext(); });
     }

@@ -18,6 +18,9 @@
 namespace xui
 {
 
+class MetricsRegistry;
+class TraceJsonWriter;
+
 /** Completion-notification strategy (Fig. 9 series). */
 enum class WaitStrategy : std::uint8_t
 {
@@ -40,6 +43,9 @@ struct DsaClientConfig
     Cycles pollInterval = usToCycles(2.0);
     Cycles duration = 100 * kCyclesPerMs;
     std::uint64_t seed = 1;
+    /** Optional observability sinks (null = off, zero cost). */
+    MetricsRegistry *metrics = nullptr;
+    TraceJsonWriter *traceOut = nullptr;
 };
 
 /** Results of one client run. */

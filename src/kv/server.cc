@@ -1,5 +1,10 @@
 #include "kv/server.hh"
 
+#include <memory>
+
+#include "obs/metrics.hh"
+#include "obs/trace_export.hh"
+
 namespace xui
 {
 
@@ -7,6 +12,11 @@ KvServerResult
 runKvServer(const KvServerConfig &config)
 {
     Simulation sim(config.seed);
+    std::unique_ptr<DesTraceHook> hook;
+    if (config.traceOut != nullptr) {
+        hook = std::make_unique<DesTraceHook>(*config.traceOut);
+        hook->attach(sim.queue());
+    }
     KvStore store(config.workload, config.seed ^ 0xdb);
     store.preload();
     Runtime runtime(sim, config.costs, config.workerCores,
@@ -80,6 +90,17 @@ runKvServer(const KvServerConfig &config)
         result.timerCoreUtilization = std::min(
             1.0, static_cast<double>(runtime.timerCoreBusy()) /
                      static_cast<double>(config.duration));
+    }
+
+    if (config.metrics != nullptr) {
+        MetricsRegistry &r = *config.metrics;
+        r.counter("kv.offered").inc(result.offered);
+        r.counter("kv.completed").inc(result.completed);
+        r.latency("kv.get").merge(result.getLatency);
+        r.latency("kv.scan").merge(result.scanLatency);
+        r.gauge("kv.achieved_rps").set(result.achievedRps);
+        r.gauge("kv.worker_utilization")
+            .set(result.workerUtilization);
     }
     return result;
 }

@@ -19,6 +19,9 @@
 namespace xui
 {
 
+class MetricsRegistry;
+class TraceJsonWriter;
+
 /** Configuration for one server run. */
 struct KvServerConfig
 {
@@ -33,6 +36,9 @@ struct KvServerConfig
     /** Warmup fraction excluded from the histograms. */
     double warmupFraction = 0.1;
     std::uint64_t seed = 1;
+    /** Optional observability sinks (null = off, zero cost). */
+    MetricsRegistry *metrics = nullptr;
+    TraceJsonWriter *traceOut = nullptr;
 };
 
 /** Results of one run. */

@@ -1,5 +1,7 @@
 #include "net/l3fwd.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace_export.hh"
 #include "stats/distributions.hh"
 
 #include <algorithm>
@@ -109,6 +111,12 @@ L3Fwd::serviceLoop()
 L3FwdResult
 L3Fwd::run()
 {
+    std::unique_ptr<DesTraceHook> hook;
+    if (config_.traceOut != nullptr) {
+        hook = std::make_unique<DesTraceHook>(*config_.traceOut);
+        hook->attach(sim_.queue());
+    }
+
     // Per-NIC exponential arrivals at the configured load fraction
     // of the single-core forwarding capacity.
     double capacity_per_cycle =
@@ -169,6 +177,18 @@ L3Fwd::run()
     double seconds = cyclesToUs(config_.duration) / 1e6;
     result_.throughputMpps =
         static_cast<double>(result_.forwarded) / seconds / 1e6;
+
+    if (config_.metrics != nullptr) {
+        MetricsRegistry &r = *config_.metrics;
+        r.counter("l3fwd.offered").inc(result_.offered);
+        r.counter("l3fwd.forwarded").inc(result_.forwarded);
+        r.counter("l3fwd.dropped").inc(result_.dropped);
+        r.counter("l3fwd.interrupts").inc(result_.interrupts);
+        r.latency("l3fwd.latency").merge(result_.latency);
+        r.gauge("l3fwd.throughput_mpps")
+            .set(result_.throughputMpps);
+        r.gauge("l3fwd.free_frac").set(result_.freeFrac);
+    }
     return result_;
 }
 

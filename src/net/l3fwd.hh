@@ -23,6 +23,9 @@
 namespace xui
 {
 
+class MetricsRegistry;
+class TraceJsonWriter;
+
 /** RX notification mode. */
 enum class RxMode : std::uint8_t
 {
@@ -52,6 +55,9 @@ struct L3FwdConfig
     std::size_t routeCount = 16000;
     std::size_t queueDepth = 1024;
     std::uint64_t seed = 1;
+    /** Optional observability sinks (null = off, zero cost). */
+    MetricsRegistry *metrics = nullptr;
+    TraceJsonWriter *traceOut = nullptr;
 };
 
 /** Results of one l3fwd run. */

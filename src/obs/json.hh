@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tiny JSON-emission helpers shared by the metrics and trace-export
+ * writers. Emission only — nothing in the repo parses JSON.
+ */
+
+#ifndef XUI_OBS_JSON_HH
+#define XUI_OBS_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace xui
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a double as a JSON number (never NaN/Inf, never locale). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace xui
+
+#endif // XUI_OBS_JSON_HH

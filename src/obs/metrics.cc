@@ -1,0 +1,158 @@
+#include "obs/metrics.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+#include "stats/table.hh"
+
+namespace xui
+{
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyRecorder &
+MetricsRegistry::latency(const std::string &name,
+                         unsigned sub_bucket_bits)
+{
+    auto &slot = latencies_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyRecorder>(sub_bucket_bits);
+    return *slot;
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LatencyRecorder *
+MetricsRegistry::findLatency(const std::string &name) const
+{
+    auto it = latencies_.find(name);
+    return it == latencies_.end() ? nullptr : it->second.get();
+}
+
+void
+MetricsRegistry::writeTable(std::ostream &os,
+                            const std::string &title) const
+{
+    TablePrinter t(title);
+    t.setHeader({"Metric", "Kind", "Value / mean", "p50", "p99",
+                 "Count"});
+    for (const auto &[name, c] : counters_) {
+        t.addRow({name, "counter",
+                  TablePrinter::integer(
+                      static_cast<std::int64_t>(c->value())),
+                  "", "", ""});
+    }
+    for (const auto &[name, g] : gauges_) {
+        t.addRow({name, "gauge", TablePrinter::num(g->value(), 4),
+                  "", "", ""});
+    }
+    for (const auto &[name, l] : latencies_) {
+        const Histogram &h = l->hist();
+        t.addRow({name, "latency", TablePrinter::num(h.mean(), 1),
+                  TablePrinter::integer(h.p50()),
+                  TablePrinter::integer(h.p99()),
+                  TablePrinter::integer(
+                      static_cast<std::int64_t>(h.count()))});
+    }
+    t.print(os);
+}
+
+void
+MetricsRegistry::writeCsv(CsvWriter &csv) const
+{
+    csv.writeRow({"kind", "name", "value", "count", "mean", "min",
+                  "max", "p50", "p95", "p99", "p999"});
+    for (const auto &[name, c] : counters_)
+        csv.writeRow({"counter", name,
+                      std::to_string(c->value()), "", "", "", "",
+                      "", "", "", ""});
+    for (const auto &[name, g] : gauges_)
+        csv.writeRow({"gauge", name, jsonNumber(g->value()), "", "",
+                      "", "", "", "", "", ""});
+    for (const auto &[name, l] : latencies_) {
+        const Histogram &h = l->hist();
+        csv.writeRow({"latency", name, "",
+                      std::to_string(h.count()),
+                      jsonNumber(h.mean()),
+                      std::to_string(h.min()),
+                      std::to_string(h.max()),
+                      std::to_string(h.p50()),
+                      std::to_string(h.p95()),
+                      std::to_string(h.p99()),
+                      std::to_string(h.p999())});
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << c->value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(g->value());
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"latencies\": {";
+    first = true;
+    for (const auto &[name, l] : latencies_) {
+        const Histogram &h = l->hist();
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h.count()
+           << ", \"sum\": " << jsonNumber(h.sum())
+           << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+           << ", \"p50\": " << h.p50() << ", \"p95\": " << h.p95()
+           << ", \"p99\": " << h.p99() << ", \"p999\": " << h.p999()
+           << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJson(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace xui

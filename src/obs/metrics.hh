@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unified metrics registry for both simulation tiers.
+ *
+ * Components register a metric once (get-or-create by hierarchical
+ * dot-separated name, e.g. "core0.intr.kbtimer.e2e") and keep the
+ * returned pointer/reference; bumping it afterwards is one null
+ * check plus an integer add — the same zero-cost-when-detached
+ * convention as the pipeline Tracer. Three metric kinds cover the
+ * repo's needs:
+ *
+ *  - Counter: monotonically increasing event count;
+ *  - Gauge: last-written value (utilizations, fractions, config);
+ *  - LatencyRecorder: Histogram-backed latency distribution with
+ *    percentile queries.
+ *
+ * A registry snapshot renders to an aligned table (TablePrinter),
+ * CSV (CsvWriter), or JSON — the `--metrics-json` bench output.
+ * Iteration is in sorted name order, so every rendering is
+ * deterministic.
+ */
+
+#ifndef XUI_OBS_METRICS_HH
+#define XUI_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "stats/csv.hh"
+#include "stats/histogram.hh"
+
+namespace xui
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-written value (set wins; no aggregation). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Histogram-backed latency distribution. */
+class LatencyRecorder
+{
+  public:
+    explicit LatencyRecorder(unsigned sub_bucket_bits = 7)
+        : hist_(sub_bucket_bits)
+    {}
+
+    void record(std::int64_t v) { hist_.record(v); }
+    void record(std::int64_t v, std::uint64_t n)
+    {
+        hist_.record(v, n);
+    }
+
+    /** Merge an externally collected histogram. */
+    void merge(const Histogram &h) { hist_.merge(h); }
+
+    const Histogram &hist() const { return hist_; }
+
+  private:
+    Histogram hist_;
+};
+
+/**
+ * Owns every registered metric; returned references stay valid for
+ * the registry's lifetime (metrics are never removed).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Get-or-create by name. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LatencyRecorder &latency(const std::string &name,
+                             unsigned sub_bucket_bits = 7);
+
+    /** Lookup without creating (nullptr when absent). */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const LatencyRecorder *
+    findLatency(const std::string &name) const;
+
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + latencies_.size();
+    }
+
+    /** Render all metrics as an aligned table. */
+    void writeTable(std::ostream &os,
+                    const std::string &title = "Metrics") const;
+
+    /** Write one CSV row per metric (kind, name, stats columns). */
+    void writeCsv(CsvWriter &csv) const;
+
+    /** Serialize every metric as a JSON object. */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Write the JSON rendering to a file.
+     * @return false when the file cannot be written.
+     */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyRecorder>>
+        latencies_;
+};
+
+} // namespace xui
+
+#endif // XUI_OBS_METRICS_HH

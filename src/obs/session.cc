@@ -1,0 +1,111 @@
+#include "obs/session.hh"
+
+#include <iostream>
+
+namespace xui
+{
+
+ObsSession::ObsSession(std::string metrics_path,
+                       std::string trace_path)
+    : metricsPath_(std::move(metrics_path)),
+      tracePath_(std::move(trace_path))
+{
+    if (metricsPath_.empty() && tracePath_.empty())
+        return;
+    metrics_ = std::make_unique<MetricsRegistry>();
+    spans_ = std::make_unique<IntrSpanTracker>(*metrics_);
+    if (!tracePath_.empty())
+        trace_ = std::make_unique<TraceJsonWriter>();
+}
+
+ObsSession::~ObsSession() = default;
+
+void
+ObsSession::attach(UarchSystem &sys)
+{
+    if (!enabled())
+        return;
+    sys.setIntrObserver(spans_.get());
+    if (trace_ != nullptr) {
+        trace_->nameProcess(kTracePidUarch, "uarch");
+        for (std::size_t i = 0; i < sys.numCores(); ++i) {
+            OooCore &core = sys.core(i);
+            sinks_.push_back(std::make_unique<PipelineTraceSink>(
+                *trace_, core.id()));
+            core.setTracer(sinks_.back().get());
+            trace_->nameThread(kTracePidUarch, core.id(),
+                               "core" + std::to_string(core.id()));
+        }
+    }
+}
+
+void
+ObsSession::attach(EventQueue &queue, unsigned tid,
+                   const std::string &name)
+{
+    if (trace_ == nullptr)
+        return;
+    trace_->nameProcess(kTracePidDes, "des");
+    trace_->nameThread(kTracePidDes, tid, name);
+    desHooks_.push_back(
+        std::make_unique<DesTraceHook>(*trace_, tid));
+    desHooks_.back()->attach(queue);
+}
+
+void
+ObsSession::publishCore(OooCore &core)
+{
+    if (!enabled())
+        return;
+    const CoreStats &s = core.stats();
+    std::string base = "core" + std::to_string(core.id()) + ".";
+    metrics_->counter(base + "cycles").inc(s.cycles);
+    metrics_->counter(base + "committed_insts")
+        .inc(s.committedInsts);
+    metrics_->counter(base + "committed_uops").inc(s.committedUops);
+    metrics_->counter(base + "fetched_uops").inc(s.fetchedUops);
+    metrics_->counter(base + "squashed_uops").inc(s.squashedUops);
+    metrics_->counter(base + "squashes").inc(s.squashes);
+    metrics_->counter(base + "branch_mispredicts")
+        .inc(s.branchMispredicts);
+    metrics_->counter(base + "intr_raised").inc(s.interruptsRaised);
+    metrics_->counter(base + "intr_delivered")
+        .inc(s.interruptsDelivered);
+    metrics_->counter(base + "reinjections").inc(s.reinjections);
+    metrics_->counter(base + "slow_path_forwards")
+        .inc(s.slowPathForwards);
+    metrics_->counter(base + "drain_wait_cycles")
+        .inc(s.drainWaitCycles);
+    if (s.cycles > 0) {
+        metrics_->gauge(base + "ipc").set(
+            static_cast<double>(s.committedInsts) /
+            static_cast<double>(s.cycles));
+    }
+}
+
+int
+ObsSession::finish()
+{
+    if (finished_ || !enabled())
+        return 0;
+    finished_ = true;
+    int rc = 0;
+    if (trace_ != nullptr) {
+        spans_->exportTo(*trace_);
+        if (trace_->dropped() > 0) {
+            std::cerr << "obs: dropped " << trace_->dropped()
+                      << " trace events (buffer cap reached)\n";
+        }
+        if (!trace_->writeFile(tracePath_)) {
+            std::cerr << "obs: cannot write " << tracePath_ << "\n";
+            rc = 1;
+        }
+    }
+    if (metricsEnabled() && !metrics_->writeJsonFile(metricsPath_)) {
+        std::cerr << "obs: cannot write " << metricsPath_ << "\n";
+        rc = 1;
+    }
+    return rc;
+}
+
+} // namespace xui

@@ -1,0 +1,124 @@
+#include "obs/span.hh"
+
+#include "obs/trace_export.hh"
+
+namespace xui
+{
+
+const char *
+intrSourceName(IntrSource source)
+{
+    switch (source) {
+      case IntrSource::UserIpi:
+        return "useripi";
+      case IntrSource::KbTimer:
+        return "kbtimer";
+      case IntrSource::Forwarded:
+        return "forwarded";
+    }
+    return "?";
+}
+
+IntrSpanTracker::IntrSpanTracker(MetricsRegistry &registry,
+                                 std::string prefix)
+    : registry_(registry), prefix_(std::move(prefix))
+{}
+
+void
+IntrSpanTracker::intrStage(IntrStage stage, std::uint64_t span_id,
+                           IntrSource source, std::uint8_t vector,
+                           Cycles cycle, unsigned core_id)
+{
+    std::uint64_t k = key(core_id, span_id);
+    switch (stage) {
+      case IntrStage::Raise: {
+        IntrSpan &span = open_[k];
+        span.id = span_id;
+        span.core = core_id;
+        span.source = source;
+        span.vector = vector;
+        span.raisedAt = cycle;
+        return;
+      }
+      case IntrStage::Accept: {
+        auto it = open_.find(k);
+        if (it != open_.end())
+            it->second.acceptedAt = cycle;
+        return;
+      }
+      case IntrStage::Inject: {
+        auto it = open_.find(k);
+        if (it != open_.end())
+            it->second.injectedAt = cycle;
+        return;
+      }
+      case IntrStage::Reinject: {
+        auto it = open_.find(k);
+        if (it != open_.end())
+            ++it->second.reinjections;
+        return;
+      }
+      case IntrStage::Deliver: {
+        auto it = open_.find(k);
+        if (it != open_.end())
+            it->second.deliveredAt = cycle;
+        return;
+      }
+      case IntrStage::Return: {
+        auto it = open_.find(k);
+        if (it == open_.end())
+            return;
+        IntrSpan span = it->second;
+        open_.erase(it);
+        span.returnedAt = cycle;
+        span.complete = true;
+        finish(span);
+        spans_.push_back(span);
+        return;
+      }
+    }
+}
+
+void
+IntrSpanTracker::finish(IntrSpan &span)
+{
+    std::string base = prefix_ + "core" + std::to_string(span.core) +
+        ".intr." + intrSourceName(span.source) + ".";
+    registry_.latency(base + "pend").record(span.pend());
+    registry_.latency(base + "inject_wait").record(span.injectWait());
+    registry_.latency(base + "ucode").record(span.ucode());
+    registry_.latency(base + "handler").record(span.handler());
+    registry_.latency(base + "e2e").record(span.endToEnd());
+    registry_.counter(base + "delivered").inc();
+    if (span.reinjections > 0)
+        registry_.counter(base + "reinjections")
+            .inc(span.reinjections);
+}
+
+void
+IntrSpanTracker::exportTo(TraceJsonWriter &out) const
+{
+    for (const IntrSpan &span : spans_) {
+        std::string src = intrSourceName(span.source);
+        std::string args = "{\"span\": " + std::to_string(span.id) +
+            ", \"vector\": " + std::to_string(span.vector) +
+            ", \"reinjections\": " +
+            std::to_string(span.reinjections) + "}";
+        out.instant("raise " + src, "intr", span.raisedAt,
+                    kTracePidUarch, span.core, args);
+        out.complete("pend " + src, "intr", span.raisedAt,
+                     span.acceptedAt, kTracePidUarch, span.core,
+                     args);
+        out.complete("inject_wait " + src, "intr", span.acceptedAt,
+                     span.injectedAt, kTracePidUarch, span.core,
+                     args);
+        out.complete("ucode " + src, "intr", span.injectedAt,
+                     span.deliveredAt, kTracePidUarch, span.core,
+                     args);
+        out.complete("handler " + src, "intr", span.deliveredAt,
+                     span.returnedAt, kTracePidUarch, span.core,
+                     args);
+    }
+}
+
+} // namespace xui

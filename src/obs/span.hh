@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Interrupt-lifecycle span tracking.
+ *
+ * IntrSpanTracker implements IntrLifecycleObserver: it keys every
+ * stage callback on the span (correlation) id assigned at raise(),
+ * reassembles per-interrupt timelines, and records the per-stage
+ * latency breakdown into per-source LatencyRecorders in a
+ * MetricsRegistry. The four stages telescope by construction —
+ *
+ *   pend        = accept  - raise     (queued at the APIC / unit)
+ *   inject_wait = inject  - accept    (waiting for the boundary /
+ *                                      drain / flush penalty)
+ *   ucode       = deliver - inject    (microcode until the delivery
+ *                                      jump commits, including any
+ *                                      re-injected attempts)
+ *   handler     = return  - deliver   (user handler until uiret)
+ *
+ * — so their sum is exactly the end-to-end raise -> uiret latency,
+ * which is also recorded (name suffix "e2e"). Registry names follow
+ * "<prefix><core>.intr.<source>.<stage>".
+ */
+
+#ifndef XUI_OBS_SPAN_HH
+#define XUI_OBS_SPAN_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "uarch/intr_observer.hh"
+
+namespace xui
+{
+
+class TraceJsonWriter;
+
+/** One reassembled interrupt lifecycle. */
+struct IntrSpan
+{
+    std::uint64_t id = 0;
+    unsigned core = 0;
+    IntrSource source = IntrSource::UserIpi;
+    std::uint8_t vector = 0;
+    Cycles raisedAt = 0;
+    Cycles acceptedAt = 0;
+    Cycles injectedAt = 0;
+    Cycles deliveredAt = 0;
+    Cycles returnedAt = 0;
+    /** Squash-induced re-injections before first commit. */
+    unsigned reinjections = 0;
+    /** All five timestamps latched (Return observed). */
+    bool complete = false;
+
+    Cycles pend() const { return acceptedAt - raisedAt; }
+    Cycles injectWait() const { return injectedAt - acceptedAt; }
+    Cycles ucode() const { return deliveredAt - injectedAt; }
+    Cycles handler() const { return returnedAt - deliveredAt; }
+    Cycles endToEnd() const { return returnedAt - raisedAt; }
+};
+
+/** Name of an interrupt source (stable, registry-safe). */
+const char *intrSourceName(IntrSource source);
+
+/** Reassembles spans and feeds per-source stage histograms. */
+class IntrSpanTracker : public IntrLifecycleObserver
+{
+  public:
+    /**
+     * @param registry receives the per-source stage recorders
+     * @param prefix registry-name prefix before "core<N>."
+     */
+    explicit IntrSpanTracker(MetricsRegistry &registry,
+                             std::string prefix = "");
+
+    void intrStage(IntrStage stage, std::uint64_t span_id,
+                   IntrSource source, std::uint8_t vector,
+                   Cycles cycle, unsigned core_id) override;
+
+    /** Completed spans, in completion order. */
+    const std::vector<IntrSpan> &spans() const { return spans_; }
+
+    /** Spans raised but not (yet) returned. */
+    std::size_t openCount() const { return open_.size(); }
+
+    /**
+     * Export every completed span as stage-duration "X" events plus
+     * a raise instant, on track (kTracePidUarch, core).
+     */
+    void exportTo(TraceJsonWriter &out) const;
+
+  private:
+    /** Span ids are per-unit; qualify with the core id. */
+    static std::uint64_t key(unsigned core, std::uint64_t id)
+    {
+        return (static_cast<std::uint64_t>(core) << 48) | id;
+    }
+
+    void finish(IntrSpan &span);
+
+    MetricsRegistry &registry_;
+    std::string prefix_;
+    std::unordered_map<std::uint64_t, IntrSpan> open_;
+    std::vector<IntrSpan> spans_;
+};
+
+} // namespace xui
+
+#endif // XUI_OBS_SPAN_HH

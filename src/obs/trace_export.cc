@@ -1,0 +1,141 @@
+#include "obs/trace_export.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+
+namespace xui
+{
+
+TraceJsonWriter::TraceJsonWriter(std::size_t max_events)
+    : maxEvents_(max_events)
+{}
+
+bool
+TraceJsonWriter::admit()
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+TraceJsonWriter::instant(const std::string &name,
+                         const char *category, Cycles cycle,
+                         unsigned pid, unsigned tid,
+                         const std::string &args_json)
+{
+    if (!admit())
+        return;
+    events_.push_back(
+        Event{name, category, 'i', cycle, 0, pid, tid, args_json});
+}
+
+void
+TraceJsonWriter::complete(const std::string &name,
+                          const char *category, Cycles start,
+                          Cycles end, unsigned pid, unsigned tid,
+                          const std::string &args_json)
+{
+    if (!admit())
+        return;
+    Cycles dur = end >= start ? end - start : 0;
+    events_.push_back(Event{name, category, 'X', start, dur, pid,
+                            tid, args_json});
+}
+
+void
+TraceJsonWriter::nameProcess(unsigned pid, const std::string &name)
+{
+    events_.push_back(Event{"process_name", "__metadata", 'M', 0, 0,
+                            pid, 0,
+                            "{\"name\": \"" + jsonEscape(name) +
+                                "\"}"});
+}
+
+void
+TraceJsonWriter::nameThread(unsigned pid, unsigned tid,
+                            const std::string &name)
+{
+    events_.push_back(Event{"thread_name", "__metadata", 'M', 0, 0,
+                            pid, tid,
+                            "{\"name\": \"" + jsonEscape(name) +
+                                "\"}"});
+}
+
+void
+TraceJsonWriter::writeEvent(std::ostream &os, const Event &ev) const
+{
+    os << "{\"name\": \"" << jsonEscape(ev.name) << "\", \"cat\": \""
+       << ev.category << "\", \"ph\": \"" << ev.phase
+       << "\", \"ts\": " << jsonNumber(cyclesToUs(ev.ts))
+       << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid;
+    if (ev.phase == 'X')
+        os << ", \"dur\": " << jsonNumber(cyclesToUs(ev.dur));
+    if (ev.phase == 'i')
+        os << ", \"s\": \"t\"";
+    if (!ev.args.empty())
+        os << ", \"args\": " << ev.args;
+    os << "}";
+}
+
+void
+TraceJsonWriter::write(std::ostream &os) const
+{
+    os << "[";
+    bool first = true;
+    for (const Event &ev : events_) {
+        os << (first ? "\n" : ",\n");
+        writeEvent(os, ev);
+        first = false;
+    }
+    os << "\n]\n";
+}
+
+bool
+TraceJsonWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    write(out);
+    return static_cast<bool>(out);
+}
+
+void
+PipelineTraceSink::event(TraceEvent ev, Cycles cycle,
+                         std::uint64_t seq, std::uint32_t pc,
+                         OpClass cls)
+{
+    std::string args;
+    if (seq != 0) {
+        args = "{\"seq\": " + std::to_string(seq) + ", \"pc\": " +
+            std::to_string(pc) + ", \"cls\": " +
+            std::to_string(static_cast<unsigned>(cls)) + "}";
+    }
+    out_.instant(traceEventName(ev), "pipeline", cycle, pid_, tid_,
+                 args);
+}
+
+DesTraceHook::~DesTraceHook()
+{
+    if (queue_ != nullptr)
+        queue_->setFireHook(nullptr);
+}
+
+void
+DesTraceHook::attach(EventQueue &queue)
+{
+    queue_ = &queue;
+    TraceJsonWriter *out = out_;
+    unsigned pid = pid_;
+    unsigned tid = tid_;
+    queue.setFireHook([out, pid, tid](EventId id, Cycles when) {
+        out->instant("event", "des", when, pid, tid,
+                     "{\"id\": " + std::to_string(id) + "}");
+    });
+}
+
+} // namespace xui

@@ -120,6 +120,7 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
     // Deliver anything parked while the thread was out.
     unsigned reposts = drainParked(t);
     cost += reposts * costs_.uipiTrackedReceive;
+    bump(mReposts_, reposts);
 
     // A pending interval-timer signal fires on resume.
     if (t.pendingSignal) {
@@ -127,9 +128,11 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
         if (t.handler)
             t.handler(t.pendingSigno);
         ++signalsDelivered_;
+        bump(mSignals_);
         cost += costs_.signalReceive;
     }
 
+    bump(mCtxSwitches_);
     return cost;
 }
 
@@ -185,14 +188,17 @@ Kernel::senduipi(int uitt_index)
     assert(entry != nullptr && "senduipi with invalid UITT index");
 
     Upid::PostResult result = entry->upid->post(entry->userVector);
-    if (!result.sendIpi)
+    if (!result.sendIpi) {
+        bump(mUipiSuppressed_);
         return DeliveryPath::Suppressed;
+    }
 
     auto it = upidOwner_.find(entry->upid);
     assert(it != upidOwner_.end());
     Thread &t = thread(it->second);
     if (!t.running) {
         // Race: SN not yet observed; kernel captures it for later.
+        bump(mUipiDeferred_);
         return DeliveryPath::Deferred;
     }
     // Fast path: notification IPI hits the running thread.
@@ -202,6 +208,7 @@ Kernel::senduipi(int uitt_index)
         if (((pir >> v) & 1) && t.handler)
             t.handler(v);
     }
+    bump(mUipiFast_);
     return DeliveryPath::Fast;
 }
 
@@ -271,6 +278,7 @@ Kernel::pollKbTimer(CoreId core_id, Cycles now)
     if (!core.timer.expired(now))
         return false;
     core.timer.acknowledge();
+    bump(mKbTimerFired_);
     ThreadId running = core.running;
     if (running != kNoThread) {
         Thread &t = thread(running);
@@ -316,6 +324,7 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
         Thread &t = thread(running);
         if (t.handler)
             t.handler(v);
+        bump(mFwdFast_);
         return DeliveryPath::Fast;
       }
       case ForwardOutcome::SlowPath: {
@@ -323,6 +332,7 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
         ThreadId owner = forwardOwner(core_id, v);
         if (owner != kNoThread)
             thread(owner).dupid.post(v);
+        bump(mFwdSlow_);
         return DeliveryPath::Deferred;
       }
       case ForwardOutcome::NotForwarded:
@@ -360,6 +370,7 @@ Kernel::setInterval(ThreadId id, Cycles interval, unsigned signo)
                 if (t.handler)
                     t.handler(signo);
                 ++signalsDelivered_;
+                bump(mSignals_);
             } else {
                 // SIGALRM semantics: firings while descheduled
                 // collapse into one pending signal.
@@ -383,6 +394,21 @@ Kernel::cancelInterval(int timer_id)
         static_cast<std::size_t>(timer_id)];
     if (t.event)
         t.event->stop();
+}
+
+void
+Kernel::attachMetrics(MetricsRegistry &registry)
+{
+    mCtxSwitches_ = &registry.counter("kernel.context_switches");
+    mReposts_ = &registry.counter("kernel.reposts");
+    mSignals_ = &registry.counter("kernel.signals_delivered");
+    mUipiFast_ = &registry.counter("kernel.senduipi.fast");
+    mUipiDeferred_ = &registry.counter("kernel.senduipi.deferred");
+    mUipiSuppressed_ =
+        &registry.counter("kernel.senduipi.suppressed");
+    mFwdFast_ = &registry.counter("kernel.forward.fast");
+    mFwdSlow_ = &registry.counter("kernel.forward.slow");
+    mKbTimerFired_ = &registry.counter("kernel.kbtimer.fired");
 }
 
 unsigned

@@ -36,6 +36,7 @@
 #include "intr/kb_timer.hh"
 #include "intr/uitt.hh"
 #include "intr/upid.hh"
+#include "obs/metrics.hh"
 #include "os/cost_model.hh"
 
 namespace xui
@@ -194,6 +195,13 @@ class Kernel
     /** Per-thread pending-repost count (tests). */
     unsigned pendingReposts(ThreadId thread) const;
 
+    /**
+     * Register the kernel's counters ("kernel.*") with a metrics
+     * registry. Without this call every counter pointer stays null
+     * and the hot paths pay nothing.
+     */
+    void attachMetrics(MetricsRegistry &registry);
+
   private:
     struct Thread
     {
@@ -243,6 +251,22 @@ class Kernel
     };
     std::vector<IntervalTimer> intervalTimers_;
     std::uint64_t signalsDelivered_ = 0;
+
+    /** Null until attachMetrics; bumping is one null check. */
+    static void bump(Counter *c, std::uint64_t n = 1)
+    {
+        if (c != nullptr)
+            c->inc(n);
+    }
+    Counter *mCtxSwitches_ = nullptr;
+    Counter *mReposts_ = nullptr;
+    Counter *mSignals_ = nullptr;
+    Counter *mUipiFast_ = nullptr;
+    Counter *mUipiDeferred_ = nullptr;
+    Counter *mUipiSuppressed_ = nullptr;
+    Counter *mFwdFast_ = nullptr;
+    Counter *mFwdSlow_ = nullptr;
+    Counter *mKbTimerFired_ = nullptr;
 };
 
 } // namespace xui

@@ -58,6 +58,10 @@ TimerCoreModel::run(Cycles duration)
         busyCycles_ += work;
         ++eventsFired_;
         sent_ += numAppCores_;
+        if (mFired_ != nullptr)
+            mFired_->inc();
+        if (mSent_ != nullptr)
+            mSent_->inc(numAppCores_);
         next_fire += interval_;
         // A saturated core fires back-to-back (start is clamped to
         // busy_until above); missed deadlines are skipped, not
@@ -79,6 +83,24 @@ TimerCoreModel::utilization() const
         return 0.0;
     return std::min(1.0, static_cast<double>(busyCycles_) /
                              static_cast<double>(duration_));
+}
+
+void
+TimerCoreModel::attachMetrics(MetricsRegistry &registry)
+{
+    mFired_ = &registry.counter("timer_core.events_fired");
+    mSent_ = &registry.counter("timer_core.notifications_sent");
+    mUtilization_ = &registry.gauge("timer_core.utilization");
+    mAchievedRate_ = &registry.gauge("timer_core.achieved_rate");
+}
+
+void
+TimerCoreModel::publish()
+{
+    if (mUtilization_ != nullptr)
+        mUtilization_->set(utilization());
+    if (mAchievedRate_ != nullptr)
+        mAchievedRate_->set(achievedRateFraction());
 }
 
 double

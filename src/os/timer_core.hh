@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "des/simulation.hh"
+#include "obs/metrics.hh"
 #include "os/cost_model.hh"
 
 namespace xui
@@ -71,6 +72,16 @@ class TimerCoreModel
     /** Per-interval busy cost of the chosen interface. */
     Cycles perEventCost() const;
 
+    /**
+     * Register this model's counters/gauges ("timer_core.*") with a
+     * metrics registry; run() bumps them, utilization is published
+     * by publish().
+     */
+    void attachMetrics(MetricsRegistry &registry);
+
+    /** Push the derived gauges (utilization, achieved rate). */
+    void publish();
+
   private:
     Simulation &sim_;
     CostModel costs_;
@@ -82,6 +93,12 @@ class TimerCoreModel
     Cycles busyCycles_ = 0;
     std::uint64_t eventsFired_ = 0;
     std::uint64_t sent_ = 0;
+
+    /** Null until attachMetrics. */
+    Counter *mFired_ = nullptr;
+    Counter *mSent_ = nullptr;
+    Gauge *mUtilization_ = nullptr;
+    Gauge *mAchievedRate_ = nullptr;
 };
 
 } // namespace xui

@@ -110,15 +110,27 @@ Histogram::percentile(double p) const
 void
 Histogram::merge(const Histogram &other)
 {
-    assert(other.subBucketBits_ == subBucketBits_);
-    for (std::size_t i = 0; i < buckets_.size(); ++i)
-        buckets_[i] += other.buckets_[i];
+    if (other.count_ == 0)
+        return;
+    if (other.subBucketBits_ == subBucketBits_) {
+        for (std::size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += other.buckets_[i];
+    } else {
+        // Differently configured source: re-bucket every occupied
+        // bucket at its representative value. Percentiles keep the
+        // coarser of the two configurations' relative error.
+        for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+            if (other.buckets_[i] == 0)
+                continue;
+            std::size_t idx = bucketIndex(other.bucketUpperBound(i));
+            idx = std::min(idx, buckets_.size() - 1);
+            buckets_[idx] += other.buckets_[i];
+        }
+    }
     count_ += other.count_;
     sum_ += other.sum_;
-    if (other.count_) {
-        min_ = std::min(min_, other.min_);
-        max_ = std::max(max_, other.max_);
-    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
 }
 
 void

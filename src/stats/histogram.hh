@@ -61,7 +61,13 @@ class Histogram
     std::int64_t p99() const { return percentile(99.0); }
     std::int64_t p999() const { return percentile(99.9); }
 
-    /** Merge another histogram (must use the same configuration). */
+    /**
+     * Merge another histogram. Same configuration merges exactly
+     * (bucket-wise); a differently configured source is re-bucketed
+     * at its representative values, which keeps count/sum/min/max
+     * exact and percentiles within the coarser configuration's
+     * relative error.
+     */
     void merge(const Histogram &other);
 
     /** Discard all recorded values. */

@@ -5,11 +5,13 @@
 namespace xui
 {
 
-void
+std::uint64_t
 InterruptUnit::raise(IntrSource source, std::uint8_t vector,
                      Cycles now)
 {
-    pending_.push_back(PendingIntr{source, vector, now});
+    std::uint64_t id = nextSpanId_++;
+    pending_.push_back(PendingIntr{source, vector, now, id});
+    return id;
 }
 
 bool

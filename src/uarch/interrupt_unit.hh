@@ -34,6 +34,13 @@ struct PendingIntr
     IntrSource source;
     std::uint8_t vector;
     Cycles raisedAt;
+    /**
+     * Correlation id assigned at raise(), unique per unit and
+     * monotonically increasing in raise order. Observability
+     * (src/obs/) keys lifecycle spans on it; the unit itself never
+     * reads it back.
+     */
+    std::uint64_t spanId = 0;
 };
 
 /** Tracked-interrupt front-end state machine (paper Fig. 3). */
@@ -56,8 +63,12 @@ enum class TrackerState : std::uint8_t
 class InterruptUnit
 {
   public:
-    /** Raise (post) an interrupt toward this core. */
-    void raise(IntrSource source, std::uint8_t vector, Cycles now);
+    /**
+     * Raise (post) an interrupt toward this core.
+     * @return the span (correlation) id assigned to it.
+     */
+    std::uint64_t raise(IntrSource source, std::uint8_t vector,
+                        Cycles now);
 
     /** True when an interrupt could be accepted this cycle. */
     bool canAccept() const;
@@ -114,6 +125,7 @@ class InterruptUnit
     PendingIntr current_{};
     TrackerState state_ = TrackerState::Idle;
     bool uif_ = true;
+    std::uint64_t nextSpanId_ = 1;
 };
 
 } // namespace xui

@@ -1,0 +1,26 @@
+#include "uarch/intr_observer.hh"
+
+namespace xui
+{
+
+const char *
+intrStageName(IntrStage st)
+{
+    switch (st) {
+      case IntrStage::Raise:
+        return "raise";
+      case IntrStage::Accept:
+        return "accept";
+      case IntrStage::Inject:
+        return "inject";
+      case IntrStage::Reinject:
+        return "reinject";
+      case IntrStage::Deliver:
+        return "deliver";
+      case IntrStage::Return:
+        return "return";
+    }
+    return "?";
+}
+
+} // namespace xui

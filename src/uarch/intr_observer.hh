@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Interrupt-lifecycle observation interface for the cycle tier.
+ *
+ * Every interrupt raised toward an InterruptUnit is stamped with a
+ * monotonically increasing per-unit correlation id (its *span id*).
+ * An IntrLifecycleObserver attached to a core receives one callback
+ * per lifecycle stage transition carrying that id, so an external
+ * tracker (src/obs/span.hh) can reassemble per-interrupt timelines —
+ * raise -> accept -> inject (-> re-inject)* -> deliver -> return —
+ * without the core keeping any extra state.
+ *
+ * Like the pipeline Tracer, observation is off (null pointer, zero
+ * cost) unless attached.
+ */
+
+#ifndef XUI_UARCH_INTR_OBSERVER_HH
+#define XUI_UARCH_INTR_OBSERVER_HH
+
+#include <cstdint>
+
+#include "des/time.hh"
+#include "uarch/interrupt_unit.hh"
+
+namespace xui
+{
+
+/** Lifecycle stage transition of one interrupt span. */
+enum class IntrStage : std::uint8_t
+{
+    /** Posted toward the unit (APIC arrival / timer expiry). */
+    Raise,
+    /** Popped from the pending queue; tracker leaves Idle. */
+    Accept,
+    /** Delivery microcode began streaming from the MSROM. */
+    Inject,
+    /** A squash killed uncommitted microcode; injected again. */
+    Reinject,
+    /** Delivery jump committed: the handler is architectural. */
+    Deliver,
+    /** uiret committed: the span is complete. */
+    Return,
+};
+
+/** Number of IntrStage enumerators (for stage-indexed tables). */
+constexpr unsigned kNumIntrStages =
+    static_cast<unsigned>(IntrStage::Return) + 1;
+
+/** Name of a lifecycle stage (stable strings for output/tests). */
+const char *intrStageName(IntrStage st);
+
+/** Receives interrupt-lifecycle stage transitions from an OooCore. */
+class IntrLifecycleObserver
+{
+  public:
+    virtual ~IntrLifecycleObserver() = default;
+
+    /**
+     * One stage transition.
+     * @param stage which transition happened
+     * @param span_id correlation id assigned at raise()
+     * @param source where the interrupt came from
+     * @param vector its user vector
+     * @param cycle when (core-local cycle)
+     * @param core_id which core observed it
+     */
+    virtual void intrStage(IntrStage stage, std::uint64_t span_id,
+                           IntrSource source, std::uint8_t vector,
+                           Cycles cycle, unsigned core_id) = 0;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_INTR_OBSERVER_HH

@@ -46,10 +46,14 @@ OooCore::deviceInterrupt(std::uint8_t vector)
 {
     ForwardOutcome outcome = forwarding_.onInterrupt(vector);
     switch (outcome) {
-      case ForwardOutcome::FastPath:
-        intr_.raise(IntrSource::Forwarded, vector, cycle_);
+      case ForwardOutcome::FastPath: {
+        std::uint64_t span =
+            intr_.raise(IntrSource::Forwarded, vector, cycle_);
+        observe(IntrStage::Raise, span, IntrSource::Forwarded,
+                vector);
         ++stats_.interruptsRaised;
         break;
+      }
       case ForwardOutcome::SlowPath:
         dupid_.post(vector);
         ++stats_.slowPathForwards;
@@ -129,7 +133,10 @@ OooCore::tick()
         IpiArrival a = ipiInbox_.front();
         ipiInbox_.pop_front();
         if (a.vector == uinv_) {
-            intr_.raise(IntrSource::UserIpi, a.vector, cycle_);
+            std::uint64_t span =
+                intr_.raise(IntrSource::UserIpi, a.vector, cycle_);
+            observe(IntrStage::Raise, span, IntrSource::UserIpi,
+                    a.vector);
             ++stats_.interruptsRaised;
         } else {
             deviceInterrupt(a.vector);
@@ -145,8 +152,10 @@ OooCore::tick()
             already = true;
         kbTimer_.acknowledge();
         if (!already) {
-            intr_.raise(IntrSource::KbTimer, kbTimer_.vector(),
-                        cycle_);
+            std::uint64_t span = intr_.raise(
+                IntrSource::KbTimer, kbTimer_.vector(), cycle_);
+            observe(IntrStage::Raise, span, IntrSource::KbTimer,
+                    kbTimer_.vector());
             ++stats_.interruptsRaised;
         }
     }
@@ -251,14 +260,19 @@ OooCore::applyCommitEffect(const RobEntry &entry)
       case McodeEffect::JumpHandler:
         trace(TraceEvent::IntrDeliver);
         ++stats_.interruptsDelivered;
-        if (recordOpen_)
+        if (recordOpen_) {
             currentRecord_.deliveryCommitAt = cycle_;
+            observe(IntrStage::Deliver, currentRecord_.spanId,
+                    currentRecord_.source, currentRecord_.vector);
+        }
         break;
       case McodeEffect::ReturnFromHandler:
         trace(TraceEvent::IntrReturn);
         intr_.onHandlerReturn();
         if (recordOpen_) {
             currentRecord_.uiretCommitAt = cycle_;
+            observe(IntrStage::Return, currentRecord_.spanId,
+                    currentRecord_.source, currentRecord_.vector);
             stats_.intrRecords.push_back(currentRecord_);
             recordOpen_ = false;
         }
@@ -393,8 +407,12 @@ OooCore::squashYoungerThan(std::uint64_t seq,
     if (until > frontendStallUntil_)
         frontendStallUntil_ = until;
 
-    if (intr_.onSquash(killed_intr))
+    if (intr_.onSquash(killed_intr)) {
         ++stats_.reinjections;
+        const PendingIntr &cur = intr_.current();
+        observe(IntrStage::Reinject, cur.spanId, cur.source,
+                cur.vector);
+    }
 }
 
 void
@@ -596,9 +614,11 @@ OooCore::checkInterruptAccept()
 
     PendingIntr p = intr_.accept();
     trace(TraceEvent::IntrAccept);
+    observe(IntrStage::Accept, p.spanId, p.source, p.vector);
     currentRecord_ = IntrRecord{};
     currentRecord_.source = p.source;
     currentRecord_.vector = p.vector;
+    currentRecord_.spanId = p.spanId;
     currentRecord_.raisedAt = p.raisedAt;
     currentRecord_.acceptedAt = cycle_;
     recordOpen_ = true;
@@ -611,6 +631,7 @@ OooCore::checkInterruptAccept()
         loadUcodeForCurrent();
         intr_.onInjected();
         currentRecord_.injectedAt = cycle_;
+        observe(IntrStage::Inject, p.spanId, p.source, p.vector);
         frontendStallUntil_ = std::max<Cycles>(
             frontendStallUntil_,
             cycle_ + params_.mcode.flushUcodeEntryLatency);
@@ -651,8 +672,12 @@ OooCore::beginInjection()
     resumePc_ = fetchPc_;
     loadUcodeForCurrent();
     intr_.onInjected();
-    if (currentRecord_.injectedAt == 0)
+    if (currentRecord_.injectedAt == 0) {
         currentRecord_.injectedAt = cycle_;
+        const PendingIntr &cur = intr_.current();
+        observe(IntrStage::Inject, cur.spanId, cur.source,
+                cur.vector);
+    }
     frontendStallUntil_ = std::max<Cycles>(
         frontendStallUntil_,
         cycle_ + params_.mcode.trackedUcodeEntryLatency);

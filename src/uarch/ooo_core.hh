@@ -35,6 +35,7 @@
 #include "uarch/cache.hh"
 #include "uarch/core_params.hh"
 #include "uarch/interrupt_unit.hh"
+#include "uarch/intr_observer.hh"
 #include "uarch/mcrom.hh"
 #include "uarch/program.hh"
 #include "uarch/trace.hh"
@@ -49,6 +50,8 @@ struct IntrRecord
 {
     IntrSource source{};
     std::uint8_t vector = 0;
+    /** Correlation id assigned at raise (see PendingIntr::spanId). */
+    std::uint64_t spanId = 0;
     Cycles raisedAt = 0;
     Cycles acceptedAt = 0;
     Cycles injectedAt = 0;
@@ -103,6 +106,12 @@ class OooCore
 
     /** Attach a pipeline tracer (nullptr disables tracing). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Attach a lifecycle observer (nullptr disables observation). */
+    void setIntrObserver(IntrLifecycleObserver *obs)
+    {
+        intrObs_ = obs;
+    }
 
     /** Advance one cycle. */
     void tick();
@@ -217,12 +226,23 @@ class OooCore
             tracer_->event(ev, cycle_, seq, pc, cls);
     }
 
+    /** Emit a lifecycle stage when an observer is attached. */
+    void
+    observe(IntrStage stage, std::uint64_t span_id,
+            IntrSource source, std::uint8_t vector)
+    {
+        if (intrObs_)
+            intrObs_->intrStage(stage, span_id, source, vector,
+                                cycle_, id_);
+    }
+
     unsigned id_;
     CoreParams params_;
     const Program *program_;
     Rng rng_;
     UarchSystem *system_ = nullptr;
     Tracer *tracer_ = nullptr;
+    IntrLifecycleObserver *intrObs_ = nullptr;
 
     Mcrom mcrom_;
     MemHierarchy mem_;

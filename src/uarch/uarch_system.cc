@@ -17,6 +17,7 @@ UarchSystem::addCore(const CoreParams &params, const Program *program)
         master_.split());
     core->setSystem(this);
     core->setTracer(tracer_);
+    core->setIntrObserver(intrObs_);
     cores_.push_back(std::move(core));
     return *cores_.back();
 }
@@ -27,6 +28,14 @@ UarchSystem::setTracer(Tracer *tracer)
     tracer_ = tracer;
     for (auto &core : cores_)
         core->setTracer(tracer);
+}
+
+void
+UarchSystem::setIntrObserver(IntrLifecycleObserver *obs)
+{
+    intrObs_ = obs;
+    for (auto &core : cores_)
+        core->setIntrObserver(obs);
 }
 
 int

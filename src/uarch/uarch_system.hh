@@ -38,6 +38,12 @@ class UarchSystem
      */
     void setTracer(Tracer *tracer);
 
+    /**
+     * Attach one interrupt-lifecycle observer to every core, present
+     * and future (nullptr detaches).
+     */
+    void setIntrObserver(IntrLifecycleObserver *obs);
+
     OooCore &core(std::size_t i) { return *cores_[i]; }
     std::size_t numCores() const { return cores_.size(); }
 
@@ -74,6 +80,7 @@ class UarchSystem
     Rng master_;
     Uitt uitt_;
     Tracer *tracer_ = nullptr;
+    IntrLifecycleObserver *intrObs_ = nullptr;
     std::vector<std::unique_ptr<OooCore>> cores_;
 };
 

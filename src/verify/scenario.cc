@@ -68,7 +68,7 @@ checkInterruptFacts(const CoreStats &s, ScenarioResult &out)
 
 ScenarioResult
 runScenario(const ScenarioConfig &cfg, TraceLog *capture,
-            Tracer *extraTracer)
+            Tracer *extraTracer, IntrLifecycleObserver *observer)
 {
     ScenarioResult out;
     Program prog = makeFuzzProgram(cfg.programSeed, cfg.program);
@@ -93,6 +93,7 @@ runScenario(const ScenarioConfig &cfg, TraceLog *capture,
     }
     tee.attach(extraTracer);
     sys.setTracer(&tee);
+    sys.setIntrObserver(observer);
 
     OooCore &core = sys.addCore(params, &prog);
     core.kbTimer().configure(true, 0x21);

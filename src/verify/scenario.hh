@@ -20,6 +20,7 @@
 
 #include "des/time.hh"
 #include "uarch/core_params.hh"
+#include "uarch/intr_observer.hh"
 #include "verify/fuzz.hh"
 #include "verify/trace_log.hh"
 
@@ -87,10 +88,13 @@ struct ScenarioResult
  * Run one scenario.
  * @param capture when non-null, also records the full binary trace.
  * @param extraTracer when non-null, an additional tee'd trace sink.
+ * @param observer when non-null, receives interrupt-lifecycle
+ *        stage callbacks (src/obs span tracking).
  */
 ScenarioResult runScenario(const ScenarioConfig &cfg,
                            TraceLog *capture = nullptr,
-                           Tracer *extraTracer = nullptr);
+                           Tracer *extraTracer = nullptr,
+                           IntrLifecycleObserver *observer = nullptr);
 
 /** Report from a double-run determinism check. */
 struct DeterminismReport

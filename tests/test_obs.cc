@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests of the observability subsystem (src/obs): the metrics
+ * registry, interrupt-lifecycle span tracker (stage telescoping per
+ * source, tracked re-injection), the Chrome trace-event exporter,
+ * the zero-cost-when-detached guarantee, and the strict bench
+ * argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "obs/trace_export.hh"
+#include "uarch/uarch_system.hh"
+#include "verify/digest_tracer.hh"
+#include "workloads/kernels.hh"
+
+using namespace xui;
+
+namespace
+{
+
+/**
+ * Minimal JSON syntax checker: validates string/escape handling and
+ * bracket balance without pulling in a JSON library. Catches the
+ * classes of bug an exporter can realistically have (unescaped
+ * quotes, trailing garbage, unbalanced containers).
+ */
+bool
+isValidJsonShape(const std::string &s)
+{
+    std::vector<char> stack;
+    bool in_string = false;
+    bool escaped = false;
+    bool saw_value = false;
+    for (char c : s) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            else if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char inside a string
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            saw_value = true;
+            break;
+          case '{':
+          case '[':
+            stack.push_back(c);
+            saw_value = true;
+            break;
+          case '}':
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+            break;
+          case ']':
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+            break;
+          default:
+            break;
+        }
+    }
+    return !in_string && stack.empty() && saw_value;
+}
+
+Program
+handlerLoop()
+{
+    ProgramBuilder b("loop");
+    std::uint32_t top = b.here();
+    for (int i = 0; i < 4; ++i)
+        b.intAlu(reg::kGpr0 + 1 + i, reg::kGpr0 + 1 + i);
+    b.jump(top);
+    b.beginHandler();
+    b.intAlu(reg::kGpr0 + 12, reg::kGpr0 + 12);
+    b.uiret();
+    return b.build();
+}
+
+/** Every completed span must telescope: stages sum to end-to-end. */
+void
+expectTelescoping(const IntrSpanTracker &spans, IntrSource source)
+{
+    ASSERT_FALSE(spans.spans().empty());
+    for (const IntrSpan &s : spans.spans()) {
+        EXPECT_TRUE(s.complete);
+        EXPECT_EQ(s.source, source);
+        EXPECT_GE(s.acceptedAt, s.raisedAt);
+        EXPECT_GE(s.injectedAt, s.acceptedAt);
+        EXPECT_GE(s.deliveredAt, s.injectedAt);
+        EXPECT_GT(s.returnedAt, s.deliveredAt);
+        EXPECT_EQ(s.pend() + s.injectWait() + s.ucode() +
+                      s.handler(),
+                  s.endToEnd());
+    }
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// MetricsRegistry
+// ----------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterGaugeLatencyRoundTrip)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("core0.cycles");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name returns the same object: register once, bump often.
+    EXPECT_EQ(&reg.counter("core0.cycles"), &c);
+    EXPECT_EQ(reg.findCounter("core0.cycles")->value(), 42u);
+    EXPECT_EQ(reg.findCounter("nope"), nullptr);
+
+    reg.gauge("core0.ipc").set(2.5);
+    EXPECT_DOUBLE_EQ(reg.findGauge("core0.ipc")->value(), 2.5);
+
+    LatencyRecorder &lat = reg.latency("core0.intr.e2e");
+    for (int i = 1; i <= 100; ++i)
+        lat.record(i);
+    EXPECT_EQ(lat.hist().count(), 100u);
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsWellFormed)
+{
+    MetricsRegistry reg;
+    reg.counter("a.b.count").inc(7);
+    reg.gauge("a.b.frac").set(0.25);
+    reg.latency("a.b.lat").record(100);
+    // Hostile name: must be escaped, not break the document.
+    reg.counter("weird\"name\\with\njunk").inc();
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    std::string json = os.str();
+    EXPECT_TRUE(isValidJsonShape(json)) << json;
+    EXPECT_NE(json.find("\"a.b.count\""), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"latencies\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// Interrupt-lifecycle spans: stage sums telescope per source
+// ----------------------------------------------------------------------
+
+TEST(IntrSpans, KbTimerStagesSumToEndToEnd)
+{
+    Program p = handlerLoop();
+    MetricsRegistry reg;
+    IntrSpanTracker spans(reg);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(42);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&spans);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(5), KbTimerMode::Periodic);
+    core.runCycles(100000);
+
+    expectTelescoping(spans, IntrSource::KbTimer);
+    EXPECT_EQ(spans.spans().size(),
+              core.stats().interruptsDelivered);
+    // Registry got the per-stage recorders under the span prefix.
+    const LatencyRecorder *e2e =
+        reg.findLatency("core0.intr.kbtimer.e2e");
+    ASSERT_NE(e2e, nullptr);
+    EXPECT_EQ(e2e->hist().count(), spans.spans().size());
+}
+
+TEST(IntrSpans, UserIpiStagesSumToEndToEnd)
+{
+    Program p = handlerLoop();
+    MetricsRegistry reg;
+    IntrSpanTracker spans(reg);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(7);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&spans);
+    core.upid().setNotificationVector(core.uinv());
+    core.upid().setDestination(core.id());
+    for (int i = 0; i < 10; ++i) {
+        sys.run(usToCycles(5));
+        sys.injectUipi(core, 3);
+    }
+    sys.run(usToCycles(20));
+
+    expectTelescoping(spans, IntrSource::UserIpi);
+    EXPECT_GE(spans.spans().size(), 5u);
+}
+
+TEST(IntrSpans, ForwardedStagesSumToEndToEnd)
+{
+    Program p = handlerLoop();
+    MetricsRegistry reg;
+    IntrSpanTracker spans(reg);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(23);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&spans);
+    core.forwarding().enableVector(0x80);
+    Bitset256 mask;
+    mask.set(0x80);
+    core.forwarding().setActiveMask(mask);
+    core.runCycles(2000);
+    core.deviceInterrupt(0x80);
+    core.runCycles(5000);
+
+    expectTelescoping(spans, IntrSource::Forwarded);
+    EXPECT_EQ(spans.spans().size(), 1u);
+}
+
+TEST(IntrSpans, TrackedReinjectionKeepsTelescoping)
+{
+    // Mispredict-heavy program under Tracked delivery: injected
+    // microcode is repeatedly squashed and re-injected. Spans must
+    // survive re-injection (counted, first-inject kept) and still
+    // telescope exactly.
+    ProgramBuilder b("noisy");
+    std::uint32_t top = b.here();
+    b.intAlu(reg::kGpr0 + 1, reg::kGpr0 + 1);
+    b.randomBranch(top, 0.5);
+    b.intAlu(reg::kGpr0 + 2, reg::kGpr0 + 2);
+    b.jump(top);
+    b.beginHandler();
+    b.intAlu(reg::kGpr0 + 12, reg::kGpr0 + 12);
+    b.uiret();
+    Program p = b.build();
+
+    MetricsRegistry reg;
+    IntrSpanTracker spans(reg);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(42);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&spans);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(2), KbTimerMode::Periodic);
+    core.runUntilCommitted(200000, 200000000);
+
+    expectTelescoping(spans, IntrSource::KbTimer);
+    std::uint64_t reinjections = 0;
+    for (const IntrSpan &s : spans.spans())
+        reinjections += s.reinjections;
+    EXPECT_GT(reinjections, 0u);
+    EXPECT_EQ(reinjections, core.stats().reinjections);
+    // At most the one in-flight span is still open at the end.
+    EXPECT_LE(spans.openCount(), 1u);
+}
+
+// ----------------------------------------------------------------------
+// No observer effect: detached runs are cycle-identical
+// ----------------------------------------------------------------------
+
+TEST(IntrSpans, ObserverDoesNotPerturbTiming)
+{
+    auto digest_with = [](bool observed) {
+        Program p = handlerLoop();
+        MetricsRegistry reg;
+        IntrSpanTracker spans(reg);
+        CoreParams params;
+        params.strategy = DeliveryStrategy::Tracked;
+        UarchSystem sys(42);
+        OooCore &core = sys.addCore(params, &p);
+        DigestTracer digest;
+        core.setTracer(&digest);
+        if (observed)
+            sys.setIntrObserver(&spans);
+        core.kbTimer().configure(true, 0x21);
+        core.kbTimer().setTimer(0, usToCycles(5),
+                                KbTimerMode::Periodic);
+        core.runCycles(50000);
+        return digest.fullDigest();
+    };
+    EXPECT_EQ(digest_with(false), digest_with(true));
+}
+
+// ----------------------------------------------------------------------
+// Chrome trace-event exporter
+// ----------------------------------------------------------------------
+
+TEST(TraceExport, SpanExportIsValidChromeTraceJson)
+{
+    Program p = handlerLoop();
+    MetricsRegistry reg;
+    IntrSpanTracker spans(reg);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(42);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&spans);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(5), KbTimerMode::Periodic);
+    core.runCycles(50000);
+    ASSERT_FALSE(spans.spans().empty());
+
+    TraceJsonWriter out;
+    out.nameProcess(kTracePidUarch, "uarch");
+    out.nameThread(kTracePidUarch, 0, "core0");
+    spans.exportTo(out);
+    std::ostringstream os;
+    out.write(os);
+    std::string json = os.str();
+
+    EXPECT_TRUE(isValidJsonShape(json)) << json.substr(0, 400);
+    // Array-form Chrome trace: leading '[', events carry the
+    // required ph/ts/pid/tid fields.
+    EXPECT_EQ(json[0], '[');
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+    // One X event per stage per completed span.
+    std::size_t x_events = 0;
+    for (std::size_t at = json.find("\"ph\": \"X\"");
+         at != std::string::npos;
+         at = json.find("\"ph\": \"X\"", at + 1))
+        ++x_events;
+    EXPECT_EQ(x_events, 4 * spans.spans().size());
+}
+
+TEST(TraceExport, WriterCapsAndCountsDrops)
+{
+    TraceJsonWriter out(10);
+    for (int i = 0; i < 25; ++i)
+        out.instant("e", "test", static_cast<Cycles>(i), 0, 0);
+    EXPECT_EQ(out.size(), 10u);
+    EXPECT_EQ(out.dropped(), 15u);
+    std::ostringstream os;
+    out.write(os);
+    EXPECT_TRUE(isValidJsonShape(os.str()));
+}
+
+// ----------------------------------------------------------------------
+// Strict bench argument parsing
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+bench::Options
+parse(std::vector<std::string> argv_strings)
+{
+    std::vector<char *> argv;
+    argv.push_back(const_cast<char *>("bench"));
+    for (std::string &s : argv_strings)
+        argv.push_back(s.data());
+    return bench::parseArgs(static_cast<int>(argv.size()),
+                            argv.data());
+}
+
+} // namespace
+
+TEST(BenchArgs, KnownFlagsParse)
+{
+    bench::Options o =
+        parse({"--quick", "--seed", "9", "--metrics-json", "m.json",
+               "--trace-json", "t.json"});
+    EXPECT_TRUE(o.quick);
+    EXPECT_EQ(o.seed, 9u);
+    EXPECT_EQ(o.metricsJson, "m.json");
+    EXPECT_EQ(o.traceJson, "t.json");
+}
+
+TEST(BenchArgsDeathTest, UnknownArgumentExitsTwo)
+{
+    EXPECT_EXIT(parse({"--bogus"}),
+                ::testing::ExitedWithCode(2),
+                "unknown argument '--bogus'");
+}
+
+TEST(BenchArgsDeathTest, MissingValueExitsTwo)
+{
+    EXPECT_EXIT(parse({"--metrics-json"}),
+                ::testing::ExitedWithCode(2),
+                "--metrics-json needs a file");
+    EXPECT_EXIT(parse({"--seed"}),
+                ::testing::ExitedWithCode(2),
+                "--seed needs a value");
+}
+
+TEST(BenchArgsDeathTest, HelpExitsZero)
+{
+    EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0),
+                "");
+}

@@ -308,6 +308,102 @@ TEST(Histogram, MergeMatchesCombined)
     EXPECT_EQ(a.p99(), combined.p99());
 }
 
+TEST(Histogram, MergeEmptyIntoNonEmptyIsNoop)
+{
+    Histogram a, empty;
+    a.record(10);
+    a.record(500);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.sum(), 510.0);
+    EXPECT_EQ(a.min(), 10);
+    EXPECT_EQ(a.max(), 500);
+}
+
+TEST(Histogram, MergeNonEmptyIntoEmpty)
+{
+    Histogram a, b;
+    b.record(7);
+    b.record(7000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.min(), 7);
+    EXPECT_EQ(a.max(), 7000);
+    EXPECT_EQ(a.p50(), b.p50());
+}
+
+TEST(Histogram, MergeMismatchedConfigKeepsMoments)
+{
+    // A fine histogram absorbing a coarse one (different
+    // sub-bucket resolution): count/sum/min/max must stay exact;
+    // percentiles keep only the coarser config's relative error.
+    Rng rng(47);
+    Histogram fine(7), coarse(3);
+    for (int i = 0; i < 4000; ++i)
+        fine.record(
+            static_cast<std::int64_t>(rng.nextBounded(500000)));
+    std::uint64_t fine_count = fine.count();
+    double fine_sum = fine.sum();
+    std::int64_t fine_min = fine.min();
+    std::int64_t fine_max = fine.max();
+    for (int i = 0; i < 4000; ++i)
+        coarse.record(
+            static_cast<std::int64_t>(rng.nextBounded(500000)) + 3);
+    fine.merge(coarse);
+    EXPECT_EQ(fine.count(), fine_count + coarse.count());
+    EXPECT_DOUBLE_EQ(fine.sum(), fine_sum + coarse.sum());
+    EXPECT_EQ(fine.min(), std::min(fine_min, coarse.min()));
+    EXPECT_EQ(fine.max(), std::max(fine_max, coarse.max()));
+    // p99 of the union sits between the two inputs' p99s, up to the
+    // coarse config's bucket error (~12.5% for 3 sub-bucket bits).
+    double lo = static_cast<double>(
+        std::min(coarse.p99(), fine.p99()));
+    double hi = static_cast<double>(
+        std::max(coarse.p99(), fine.p99()));
+    EXPECT_GE(static_cast<double>(fine.p99()), 0.85 * lo);
+    EXPECT_LE(static_cast<double>(fine.p99()), 1.15 * hi);
+}
+
+TEST(Histogram, MergeMismatchedBothDirectionsAgreeOnMoments)
+{
+    Histogram fine(7), coarse(3);
+    for (std::int64_t v : {1, 10, 100, 1000, 10000, 100000}) {
+        fine.record(v);
+        coarse.record(v * 3);
+    }
+    Histogram fine2(7), coarse2(3);
+    for (std::int64_t v : {1, 10, 100, 1000, 10000, 100000}) {
+        fine2.record(v);
+        coarse2.record(v * 3);
+    }
+    fine.merge(coarse);      // coarse -> fine
+    coarse2.merge(fine2);    // fine -> coarse
+    EXPECT_EQ(fine.count(), coarse2.count());
+    EXPECT_DOUBLE_EQ(fine.sum(), coarse2.sum());
+    EXPECT_EQ(fine.min(), coarse2.min());
+    EXPECT_EQ(fine.max(), coarse2.max());
+}
+
+TEST(Histogram, PercentileBoundaries)
+{
+    Histogram h;
+    for (std::int64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    // percentile(0) is the smallest recorded bucket, percentile(100)
+    // the largest; both within the representation's bucket error.
+    EXPECT_GE(h.percentile(0.0), 1);
+    EXPECT_LE(h.percentile(0.0), h.percentile(50.0));
+    EXPECT_GE(h.percentile(100.0), h.percentile(99.9));
+    EXPECT_GE(h.percentile(100.0), 990);
+    EXPECT_LE(h.percentile(0.0), h.percentile(100.0));
+    // Degenerate single-value histogram: all percentiles coincide.
+    Histogram one;
+    one.record(42);
+    EXPECT_EQ(one.percentile(0.0), one.percentile(100.0));
+    EXPECT_EQ(one.percentile(0.0), one.p50());
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h;

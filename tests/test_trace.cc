@@ -206,3 +206,24 @@ TEST(Trace, EventNamesStable)
     EXPECT_STREQ(traceEventName(TraceEvent::IntrInject),
                  "intr-inject");
 }
+
+TEST(Trace, EveryEventNameDefinedAndUnique)
+{
+    // The names are part of the exported trace format (text traces,
+    // Chrome trace JSON categories): every enumerator must map to a
+    // real, distinct name — a new TraceEvent without a name would
+    // silently render as the fallback.
+    std::map<std::string, unsigned> seen;
+    for (unsigned i = 0; i < kNumTraceEvents; ++i) {
+        const char *name =
+            traceEventName(static_cast<TraceEvent>(i));
+        ASSERT_NE(name, nullptr) << "event " << i;
+        EXPECT_STRNE(name, "") << "event " << i;
+        EXPECT_STRNE(name, "?") << "event " << i;
+        auto [it, inserted] = seen.emplace(name, i);
+        EXPECT_TRUE(inserted)
+            << "events " << it->second << " and " << i
+            << " share the name '" << name << "'";
+    }
+    EXPECT_EQ(seen.size(), kNumTraceEvents);
+}

@@ -22,20 +22,28 @@
  * scenario; --replay FILE re-runs the same scenario and reports the
  * first divergence from the recorded stream.
  *
+ * Observability: --metrics-json FILE / --trace-json FILE export one
+ * instrumented scenario's metrics snapshot and Chrome trace (load at
+ * https://ui.perfetto.dev) alongside whatever else the run does.
+ *
  * Usage:
  *   xui_verify [--programs N] [--seeds K] [--insts M]
  *              [--timer-us U] [--safepoints] [--quiet]
  *              [--record FILE | --replay FILE]
  *              [--record-seed S]
+ *              [--metrics-json FILE] [--trace-json FILE]
  */
 
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/session.hh"
+#include "obs/trace_export.hh"
 #include "stats/table.hh"
 #include "verify/differential.hh"
 #include "verify/scenario.hh"
@@ -56,6 +64,8 @@ struct Options
     std::string recordPath;
     std::string replayPath;
     std::uint64_t recordSeed = 1;
+    std::string metricsJson;
+    std::string traceJson;
 };
 
 void
@@ -66,7 +76,8 @@ usage(const char *argv0)
         << " [--programs N] [--seeds K] [--insts M] [--timer-us U]\n"
         << "       [--safepoints] [--quiet]\n"
         << "       [--record FILE | --replay FILE] "
-        << "[--record-seed S]\n";
+        << "[--record-seed S]\n"
+        << "       [--metrics-json FILE] [--trace-json FILE]\n";
 }
 
 bool
@@ -119,6 +130,16 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.recordSeed = std::strtoull(v, nullptr, 10);
+        } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+            const char *v = need("--metrics-json");
+            if (!v)
+                return false;
+            opt.metricsJson = v;
+        } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+            const char *v = need("--trace-json");
+            if (!v)
+                return false;
+            opt.traceJson = v;
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             usage(argv[0]);
@@ -180,6 +201,27 @@ replayGolden(const Options &opt)
     return 0;
 }
 
+/**
+ * Run one instrumented golden scenario and write the requested
+ * metrics / trace exports. No-op (exit 0) when neither flag is set.
+ */
+int
+exportObservability(const Options &opt)
+{
+    ObsSession obs(opt.metricsJson, opt.traceJson);
+    if (!obs.enabled())
+        return 0;
+    std::unique_ptr<PipelineTraceSink> sink;
+    if (obs.trace()) {
+        obs.trace()->nameProcess(kTracePidUarch, "uarch");
+        obs.trace()->nameThread(kTracePidUarch, 0, "core0");
+        sink = std::make_unique<PipelineTraceSink>(*obs.trace(), 0);
+    }
+    runScenario(goldenScenario(opt), nullptr, sink.get(),
+                obs.spanTracker());
+    return obs.finish();
+}
+
 } // namespace
 
 int
@@ -193,6 +235,8 @@ main(int argc, char **argv)
         return recordGolden(opt);
     if (!opt.replayPath.empty())
         return replayGolden(opt);
+
+    const int obs_rc = exportObservability(opt);
 
     std::uint64_t runs = 0;
     std::uint64_t determinismFails = 0;
@@ -310,5 +354,5 @@ main(int argc, char **argv)
         return 1;
     }
     std::cout << "\nPASS\n";
-    return 0;
+    return obs_rc;
 }
