@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: simulated-cycles-per-wall-second
+ * and events-per-second across four canonical scenarios, so the
+ * perf trajectory of the simulation kernel itself (event queue,
+ * OoO tick loop, obs hot paths) has a pinned baseline and CI can
+ * chart regressions.
+ *
+ * Scenarios:
+ *  - fig2:       uarch tier, pointer-chase + periodic KB timer in
+ *                Flush mode (the Fig. 2 timeline workload).
+ *  - timer_core: DES tier, kernel interval timers plus
+ *                cancel-heavy watchdog re-arm churn on the event
+ *                queue (the pattern that leaked under the old
+ *                lazy-cancel queue).
+ *  - l3fwd:      DES tier, Fig. 8 forwarding app under xUI
+ *                interrupt forwarding.
+ *  - fuzz:       uarch tier, verification scenario runner (fuzz
+ *                program + digest instrumentation).
+ *
+ * Emits BENCH_simspeed.json (cwd) with per-scenario rates and the
+ * speedup against the pre-optimization baseline recorded below.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "des/simulation.hh"
+#include "net/l3fwd.hh"
+#include "os/cost_model.hh"
+#include "os/kernel.hh"
+#include "stats/rng.hh"
+#include "uarch/uarch_system.hh"
+#include "verify/scenario.hh"
+#include "workloads/kernels.hh"
+
+using namespace xui;
+
+namespace
+{
+
+/**
+ * Pre-optimization rates, captured on the reference container at
+ * the commit immediately before the hot-path overhaul (same
+ * scenarios, full mode, RelWithDebInfo). `speedup_vs_baseline` in
+ * the JSON is measured against these.
+ */
+struct BaselineRate
+{
+    const char *name;
+    double cyclesPerSec;
+    double eventsPerSec;
+};
+
+constexpr BaselineRate kBaseline[] = {
+    {"fig2", 2912915.0, 17044.0},
+    {"timer_core", 42924291.0, 3490015.0},
+    {"l3fwd", 550843927.0, 2883792.0},
+    {"fuzz", 899235.0, 6644826.0},
+};
+
+double
+baselineCyclesPerSec(const std::string &name)
+{
+    for (const auto &b : kBaseline)
+        if (name == b.name)
+            return b.cyclesPerSec;
+    return 0.0;
+}
+
+struct SpeedResult
+{
+    std::string name;
+    double simCycles = 0.0;
+    double events = 0.0;
+    double wallSec = 0.0;
+
+    double cyclesPerSec() const
+    {
+        return wallSec > 0.0 ? simCycles / wallSec : 0.0;
+    }
+    double eventsPerSec() const
+    {
+        return wallSec > 0.0 ? events / wallSec : 0.0;
+    }
+};
+
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Fig. 2 timeline workload: pointer-chase + Flush-mode KB timer. */
+SpeedResult
+runFig2(bool quick, std::uint64_t seed)
+{
+    Program prog = makePointerChase(16, 4ull << 20, false);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Flush;
+    UarchSystem sys(seed + 2);
+    OooCore &core = sys.addCore(params, &prog);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(20), KbTimerMode::Periodic);
+
+    const Cycles cycles = quick ? 300'000 : 3'000'000;
+    WallTimer t;
+    core.runCycles(cycles);
+    SpeedResult r;
+    r.name = "fig2";
+    r.wallSec = t.seconds();
+    r.simCycles = static_cast<double>(core.now());
+    r.events = static_cast<double>(core.stats().committedUops);
+    return r;
+}
+
+/**
+ * DES timer core: 8 cores running threads with interval timers,
+ * plus a per-core watchdog that re-arms a timeout on every tick —
+ * the schedule/cancel-heavy pattern from timeout-driven servers.
+ */
+struct Watchdog
+{
+    EventQueue &q;
+    Rng rng;
+    EventId timeout = kInvalidEventId;
+    std::uint64_t rearms = 0;
+    bool stopped = false;
+
+    Watchdog(EventQueue &queue, std::uint64_t seed)
+        : q(queue), rng(seed)
+    {
+    }
+
+    void arm()
+    {
+        if (stopped)
+            return;
+        // Cancel the previous (rarely-fired) timeout and set a new
+        // one — under the old queue each of these lingered in the
+        // heap until its deadline passed.
+        if (timeout != kInvalidEventId)
+            q.cancel(timeout);
+        timeout = q.scheduleAfter(500 + rng.nextBounded(1000), [] {});
+        q.scheduleAfter(50 + rng.nextBounded(100), [this] {
+            ++rearms;
+            arm();
+        });
+    }
+};
+
+SpeedResult
+runTimerCore(bool quick, std::uint64_t seed)
+{
+    Simulation sim(seed);
+    CostModel costs;
+    const unsigned cores = 8;
+    Kernel kernel(sim, costs, cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        ThreadId thread = kernel.createThread();
+        kernel.registerHandler(thread, [](unsigned) {});
+        kernel.scheduleOn(thread, c);
+        kernel.setInterval(thread, usToCycles(2 + c));
+    }
+    std::vector<std::unique_ptr<Watchdog>> dogs;
+    for (unsigned c = 0; c < cores; ++c) {
+        dogs.push_back(
+            std::make_unique<Watchdog>(sim.queue(), seed * 31 + c));
+        dogs.back()->arm();
+    }
+
+    const Cycles duration =
+        quick ? 1 * kCyclesPerMs : 20 * kCyclesPerMs;
+    WallTimer t;
+    sim.runUntil(duration);
+    for (auto &d : dogs)
+        d->stopped = true;
+    SpeedResult r;
+    r.name = "timer_core";
+    r.wallSec = t.seconds();
+    r.simCycles = static_cast<double>(sim.now());
+    r.events = static_cast<double>(sim.queue().firedCount());
+    return r;
+}
+
+/** Fig. 8 l3fwd under xUI interrupt forwarding. */
+SpeedResult
+runL3Fwd(bool quick, std::uint64_t seed)
+{
+    L3FwdConfig cfg;
+    cfg.mode = RxMode::XuiForwarded;
+    cfg.numNics = 4;
+    cfg.load = 0.7;
+    cfg.seed = seed;
+    cfg.duration = quick ? 2 * kCyclesPerMs : 40 * kCyclesPerMs;
+    L3Fwd app(cfg);
+    WallTimer t;
+    L3FwdResult res = app.run();
+    SpeedResult r;
+    r.name = "l3fwd";
+    r.wallSec = t.seconds();
+    r.simCycles = static_cast<double>(cfg.duration);
+    r.events = static_cast<double>(res.offered + res.forwarded +
+                                   res.interrupts);
+    return r;
+}
+
+/** Verification fuzz scenario (digest-instrumented uarch run). */
+SpeedResult
+runFuzz(bool quick, std::uint64_t seed)
+{
+    ScenarioConfig cfg;
+    cfg.programSeed = seed + 4;
+    cfg.systemSeed = seed + 4;
+    cfg.targetInsts = quick ? 15'000 : 150'000;
+    WallTimer t;
+    ScenarioResult res = runScenario(cfg);
+    SpeedResult r;
+    r.name = "fuzz";
+    r.wallSec = t.seconds();
+    r.simCycles = static_cast<double>(res.cycles);
+    r.events = static_cast<double>(res.eventCount);
+    return r;
+}
+
+void
+writeJson(const char *path, const std::vector<SpeedResult> &results,
+          bool quick, std::uint64_t seed)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"simspeed\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SpeedResult &r = results[i];
+        double base = baselineCyclesPerSec(r.name);
+        double speedup =
+            base > 0.0 ? r.cyclesPerSec() / base : 0.0;
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"sim_cycles\": %.0f, "
+                     "\"events\": %.0f, \"wall_seconds\": %.6f,\n"
+                     "     \"cycles_per_sec\": %.0f, "
+                     "\"events_per_sec\": %.0f,\n"
+                     "     \"baseline_cycles_per_sec\": %.0f, "
+                     "\"speedup_vs_baseline\": %.2f}%s\n",
+                     r.name.c_str(), r.simCycles, r.events,
+                     r.wallSec, r.cyclesPerSec(), r.eventsPerSec(),
+                     base, speedup,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Options opts = bench::parseArgs(argc, argv);
+    bench::banner("simspeed — simulator throughput across canonical "
+                  "scenarios",
+                  "infrastructure (no paper figure): cycles/sec + "
+                  "events/sec baseline");
+
+    std::vector<SpeedResult> results;
+    results.push_back(runFig2(opts.quick, opts.seed));
+    results.push_back(runTimerCore(opts.quick, opts.seed));
+    results.push_back(runL3Fwd(opts.quick, opts.seed));
+    results.push_back(runFuzz(opts.quick, opts.seed));
+
+    std::printf("%-12s %14s %14s %10s %14s %14s %9s\n", "scenario",
+                "sim cycles", "events", "wall s", "cycles/s",
+                "events/s", "speedup");
+    for (const SpeedResult &r : results) {
+        double base = baselineCyclesPerSec(r.name);
+        std::printf("%-12s %14.0f %14.0f %10.3f %14.0f %14.0f %8.2fx\n",
+                    r.name.c_str(), r.simCycles, r.events, r.wallSec,
+                    r.cyclesPerSec(), r.eventsPerSec(),
+                    base > 0.0 ? r.cyclesPerSec() / base : 0.0);
+    }
+
+    writeJson("BENCH_simspeed.json", results, opts.quick, opts.seed);
+    std::printf("\nwrote BENCH_simspeed.json\n");
+    return 0;
+}

@@ -53,7 +53,9 @@ Upid::PostResult
 Upid::post(unsigned user_vector)
 {
     assert(user_vector < kNumUserVectors);
-    pir_ |= 1ull << user_vector;
+    // UV is a 6-bit field in the UITT entry; mask like hardware would
+    // so an out-of-range vector can't become UB in the shift below.
+    pir_ |= 1ull << (user_vector & (kNumUserVectors - 1));
     PostResult result{true, false};
     if (!suppressed() && !outstanding()) {
         setOutstanding(true);

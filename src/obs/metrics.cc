@@ -36,6 +36,46 @@ MetricsRegistry::latency(const std::string &name,
     return *slot;
 }
 
+MetricId
+MetricsRegistry::internCounter(const std::string &name)
+{
+    auto it = counterIds_.find(name);
+    if (it != counterIds_.end())
+        return it->second;
+    Counter &c = counter(name);
+    counterSlots_.push_back(&c);
+    MetricId id = static_cast<MetricId>(counterSlots_.size() - 1);
+    counterIds_.emplace(name, id);
+    return id;
+}
+
+MetricId
+MetricsRegistry::internGauge(const std::string &name)
+{
+    auto it = gaugeIds_.find(name);
+    if (it != gaugeIds_.end())
+        return it->second;
+    Gauge &g = gauge(name);
+    gaugeSlots_.push_back(&g);
+    MetricId id = static_cast<MetricId>(gaugeSlots_.size() - 1);
+    gaugeIds_.emplace(name, id);
+    return id;
+}
+
+MetricId
+MetricsRegistry::internLatency(const std::string &name,
+                               unsigned sub_bucket_bits)
+{
+    auto it = latencyIds_.find(name);
+    if (it != latencyIds_.end())
+        return it->second;
+    LatencyRecorder &l = latency(name, sub_bucket_bits);
+    latencySlots_.push_back(&l);
+    MetricId id = static_cast<MetricId>(latencySlots_.size() - 1);
+    latencyIds_.emplace(name, id);
+    return id;
+}
+
 const Counter *
 MetricsRegistry::findCounter(const std::string &name) const
 {

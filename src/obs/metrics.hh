@@ -28,6 +28,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "stats/csv.hh"
 #include "stats/histogram.hh"
@@ -82,6 +83,14 @@ class LatencyRecorder
 };
 
 /**
+ * Stable integer handle to an interned metric (see
+ * MetricsRegistry::internCounter and friends). Ids are dense,
+ * per-kind, and never invalidated, so hot paths can resolve a
+ * metric with one array index instead of a string hash/compare.
+ */
+using MetricId = std::uint32_t;
+
+/**
  * Owns every registered metric; returned references stay valid for
  * the registry's lifetime (metrics are never removed).
  */
@@ -98,6 +107,25 @@ class MetricsRegistry
     Gauge &gauge(const std::string &name);
     LatencyRecorder &latency(const std::string &name,
                              unsigned sub_bucket_bits = 7);
+
+    /**
+     * Intern a metric name into a dense per-kind id (get-or-create,
+     * same registry entry the string API returns). Pay the string
+     * lookup once at setup; use the ...At() accessors on the hot
+     * path.
+     */
+    MetricId internCounter(const std::string &name);
+    MetricId internGauge(const std::string &name);
+    MetricId internLatency(const std::string &name,
+                           unsigned sub_bucket_bits = 7);
+
+    /** O(1) handle-to-metric resolution (id must be interned). */
+    Counter &counterAt(MetricId id) { return *counterSlots_[id]; }
+    Gauge &gaugeAt(MetricId id) { return *gaugeSlots_[id]; }
+    LatencyRecorder &latencyAt(MetricId id)
+    {
+        return *latencySlots_[id];
+    }
 
     /** Lookup without creating (nullptr when absent). */
     const Counter *findCounter(const std::string &name) const;
@@ -131,6 +159,15 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<LatencyRecorder>>
         latencies_;
+
+    // Interning side tables: name -> id, id -> metric. Slots point
+    // into the maps above (never removed, so always valid).
+    std::map<std::string, MetricId> counterIds_;
+    std::map<std::string, MetricId> gaugeIds_;
+    std::map<std::string, MetricId> latencyIds_;
+    std::vector<Counter *> counterSlots_;
+    std::vector<Gauge *> gaugeSlots_;
+    std::vector<LatencyRecorder *> latencySlots_;
 };
 
 } // namespace xui

@@ -79,20 +79,45 @@ IntrSpanTracker::intrStage(IntrStage stage, std::uint64_t span_id,
     }
 }
 
+IntrSpanTracker::StreamIds &
+IntrSpanTracker::streamIds(unsigned core, IntrSource source)
+{
+    std::uint64_t k = (static_cast<std::uint64_t>(core) << 8) |
+        static_cast<std::uint64_t>(source);
+    auto it = streams_.find(k);
+    if (it != streams_.end())
+        return it->second;
+    std::string base = prefix_ + "core" + std::to_string(core) +
+        ".intr." + intrSourceName(source) + ".";
+    StreamIds ids;
+    ids.pend = registry_.internLatency(base + "pend");
+    ids.injectWait = registry_.internLatency(base + "inject_wait");
+    ids.ucode = registry_.internLatency(base + "ucode");
+    ids.handler = registry_.internLatency(base + "handler");
+    ids.e2e = registry_.internLatency(base + "e2e");
+    ids.delivered = registry_.internCounter(base + "delivered");
+    ids.reinjections = kNoId;
+    return streams_.emplace(k, ids).first->second;
+}
+
 void
 IntrSpanTracker::finish(IntrSpan &span)
 {
-    std::string base = prefix_ + "core" + std::to_string(span.core) +
-        ".intr." + intrSourceName(span.source) + ".";
-    registry_.latency(base + "pend").record(span.pend());
-    registry_.latency(base + "inject_wait").record(span.injectWait());
-    registry_.latency(base + "ucode").record(span.ucode());
-    registry_.latency(base + "handler").record(span.handler());
-    registry_.latency(base + "e2e").record(span.endToEnd());
-    registry_.counter(base + "delivered").inc();
-    if (span.reinjections > 0)
-        registry_.counter(base + "reinjections")
-            .inc(span.reinjections);
+    StreamIds &ids = streamIds(span.core, span.source);
+    registry_.latencyAt(ids.pend).record(span.pend());
+    registry_.latencyAt(ids.injectWait).record(span.injectWait());
+    registry_.latencyAt(ids.ucode).record(span.ucode());
+    registry_.latencyAt(ids.handler).record(span.handler());
+    registry_.latencyAt(ids.e2e).record(span.endToEnd());
+    registry_.counterAt(ids.delivered).inc();
+    if (span.reinjections > 0) {
+        if (ids.reinjections == kNoId)
+            ids.reinjections = registry_.internCounter(
+                prefix_ + "core" + std::to_string(span.core) +
+                ".intr." + intrSourceName(span.source) +
+                ".reinjections");
+        registry_.counterAt(ids.reinjections).inc(span.reinjections);
+    }
 }
 
 void

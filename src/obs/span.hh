@@ -100,10 +100,34 @@ class IntrSpanTracker : public IntrLifecycleObserver
 
     void finish(IntrSpan &span);
 
+    /**
+     * Interned recorder ids for one (core, source) stream. Built
+     * once per stream; finish() — which runs once per delivered
+     * interrupt — then records through array indices instead of
+     * rebuilding five registry names and hashing them.
+     */
+    struct StreamIds
+    {
+        MetricId pend;
+        MetricId injectWait;
+        MetricId ucode;
+        MetricId handler;
+        MetricId e2e;
+        MetricId delivered;
+        /** Interned on first squash-reinjection so streams without
+         * reinjections register no counter (kNoId until then). */
+        MetricId reinjections;
+    };
+
+    static constexpr MetricId kNoId = ~MetricId(0);
+
+    StreamIds &streamIds(unsigned core, IntrSource source);
+
     MetricsRegistry &registry_;
     std::string prefix_;
     std::unordered_map<std::uint64_t, IntrSpan> open_;
     std::vector<IntrSpan> spans_;
+    std::unordered_map<std::uint64_t, StreamIds> streams_;
 };
 
 } // namespace xui

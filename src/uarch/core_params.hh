@@ -72,6 +72,16 @@ struct CoreParams
     /** Hardware safepoint mode (§4.4): deliver only at safepoints. */
     bool safepointMode = false;
 
+    /**
+     * Run-to-next-wakeup: runCycles / UarchSystem::run jump over
+     * cycles where the core is provably idle (halted, empty
+     * pipeline, no deliverable interrupt) instead of ticking through
+     * them. Purely a simulator-speed knob — the architectural
+     * timeline is bit-identical either way (the determinism suite
+     * pins digests with the flag both on and off).
+     */
+    bool tickSkip = true;
+
     unsigned predictorTableBits = 14;
     unsigned predictorHistoryBits = 12;
 };

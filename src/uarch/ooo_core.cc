@@ -1,5 +1,6 @@
 #include "uarch/ooo_core.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "uarch/uarch_system.hh"
@@ -23,7 +24,9 @@ OooCore::OooCore(unsigned id, const CoreParams &params,
       renameTable_(reg::kCount, 0),
       execCount_(program->size(), 0),
       ringSeq_(kRingSize, 0),
-      ringReadyAt_(kRingSize, 0)
+      ringReadyAt_(kRingSize, 0),
+      ringEntry_(kRingSize, nullptr),
+      wbWheel_(kWbSpan)
 {
     assert(program != nullptr);
     iqList_.reserve(512);
@@ -168,12 +171,51 @@ OooCore::tick()
     fetchStage();
 }
 
+bool
+OooCore::quiesced() const
+{
+    return fetchHalted_ && rob_.empty() && fetchBuffer_.empty() &&
+           ucodeQueue_.empty() && !drainWaiting_ &&
+           !awaitRedirect_ && !intr_.busy() && !intr_.canAccept();
+}
+
+Cycles
+OooCore::nextWakeCycle() const
+{
+    Cycles w = kNoWake;
+    if (kbTimer_.enabled() && kbTimer_.armed())
+        w = std::max(kbTimer_.deadline(), cycle_ + 1);
+    for (const IpiArrival &a : ipiInbox_)
+        w = std::min(w, std::max(a.when, cycle_ + 1));
+    return w;
+}
+
+void
+OooCore::skipTo(Cycles c)
+{
+    assert(c >= cycle_);
+    stats_.cycles += c - cycle_;
+    cycle_ = c;
+}
+
 void
 OooCore::runCycles(Cycles n)
 {
     Cycles end = cycle_ + n;
-    while (cycle_ < end)
+    while (cycle_ < end) {
+        if (params_.tickSkip && quiesced()) {
+            // Idle until the next wake source (or the horizon):
+            // every skipped tick would only have bumped counters.
+            Cycles w = nextWakeCycle();
+            Cycles to = w == kNoWake ? end : std::min(w - 1, end);
+            if (to > cycle_) {
+                skipTo(to);
+                if (cycle_ >= end)
+                    break;
+            }
+        }
         tick();
+    }
 }
 
 Cycles
@@ -225,6 +267,7 @@ OooCore::commitStage()
                 mem_.access(head.addr);
         }
         McodeEffect effect = head.uop.effect;
+        releaseRingSlot(head);
         rob_.pop_front();
 
         // UIF-changing instructions are serializing: they end the
@@ -296,11 +339,71 @@ OooCore::applyCommitEffect(const RobEntry &entry)
 // ---------------------------------------------------------------------
 
 void
+OooCore::releaseRingSlot(const RobEntry &entry)
+{
+    std::size_t slot = entry.seq & kRingMask;
+    if (ringSeq_[slot] == entry.seq) {
+        ringSeq_[slot] = 0;
+        ringEntry_[slot] = nullptr;
+    }
+}
+
+void
+OooCore::scheduleWriteback(std::uint64_t seq, Cycles ready_at)
+{
+    if (ready_at - cycle_ < kWbSpan)
+        wbWheel_[ready_at & kWbMask].push_back(seq);
+    else
+        farWb_.push_back(seq);
+}
+
+void
 OooCore::writebackStage()
 {
-    for (auto &entry : rob_) {
-        if (!entry.issued || entry.done || entry.readyAt > cycle_)
+    // Long-latency stragglers enter the wheel once in range.
+    if (!farWb_.empty()) {
+        std::size_t kept = 0;
+        for (std::uint64_t seq : farWb_) {
+            std::size_t slot = seq & kRingMask;
+            if (ringSeq_[slot] != seq)
+                continue;  // squashed while waiting
+            Cycles ready = ringEntry_[slot]->readyAt;
+            if (ready - cycle_ < kWbSpan)
+                wbWheel_[ready & kWbMask].push_back(seq);
+            else
+                farWb_[kept++] = seq;
+        }
+        farWb_.resize(kept);
+    }
+
+    // Drain this cycle's completion bucket in age (seq) order —
+    // exactly the order the old whole-ROB scan visited them. Stale
+    // seqs (squashed entries, previous laps of the wheel) fail the
+    // ring check and drop out here.
+    std::vector<std::uint64_t> &bucket = wbWheel_[cycle_ & kWbMask];
+    if (bucket.empty())
+        return;
+    wbScratch_.clear();
+    for (std::uint64_t seq : bucket) {
+        std::size_t slot = seq & kRingMask;
+        if (ringSeq_[slot] != seq)
             continue;
+        const RobEntry &e = *ringEntry_[slot];
+        if (!e.issued || e.done)
+            continue;
+        assert(e.readyAt == cycle_);
+        wbScratch_.push_back(seq);
+    }
+    bucket.clear();
+    std::sort(wbScratch_.begin(), wbScratch_.end());
+
+    for (std::uint64_t seq : wbScratch_) {
+        // Revalidate: a mispredict earlier in this loop squashes
+        // younger entries, which are exactly the seqs that follow.
+        std::size_t slot = seq & kRingMask;
+        if (ringSeq_[slot] != seq)
+            continue;
+        RobEntry &entry = *ringEntry_[slot];
         entry.done = true;
         trace(TraceEvent::Complete, entry.seq, entry.pc,
               entry.uop.cls);
@@ -328,6 +431,13 @@ OooCore::writebackStage()
         }
         if (entry.uop.effect == McodeEffect::ReturnFromHandler) {
             fetchPc_ = resumePc_;
+            // Record the real return target: uiret is a program
+            // instruction, so its commit updates
+            // lastCommittedNextPc_, and the fall-through pc+1 would
+            // be wrong (out of bounds for a handler at the end of
+            // the program) if a Flush-mode accept lands before the
+            // next program op commits.
+            entry.nextPc = resumePc_;
             awaitRedirect_ = false;
             frontendStallUntil_ = std::max<Cycles>(
                 frontendStallUntil_,
@@ -376,6 +486,7 @@ OooCore::squashYoungerThan(std::uint64_t seq,
         if (rob_.back().uop.fromIntrPath)
             killed_intr = true;
         uncountExec(rob_.back());
+        releaseRingSlot(rob_.back());
         rob_.pop_back();
         ++killed_rob;
     }
@@ -422,8 +533,10 @@ OooCore::squashAll()
     stats_.squashedUops += killed_rob + fetchBuffer_.size();
     if (killed_rob + fetchBuffer_.size() > 0)
         ++stats_.squashes;
-    for (const auto &entry : rob_)
+    for (const auto &entry : rob_) {
         uncountExec(entry);
+        releaseRingSlot(entry);
+    }
     for (const auto &entry : fetchBuffer_)
         uncountExec(entry);
     rob_.clear();
@@ -500,13 +613,39 @@ OooCore::depReady(std::uint64_t dep) const
     return ringReadyAt_[slot] <= cycle_;
 }
 
+Cycles
+OooCore::depBound(std::uint64_t dep) const
+{
+    if (dep == 0)
+        return 0;
+    std::size_t slot = dep & kRingMask;
+    if (ringSeq_[slot] != dep)
+        return 0;  // producer retired (or slot long since reused)
+    Cycles ready = ringReadyAt_[slot];
+    if (ready != ~Cycles(0))
+        return ready;  // issued: completion cycle is exact
+    // Producer not issued yet: it cannot produce before its own
+    // dependencies resolve plus one cycle of execution — and never
+    // this cycle. Its notBefore may be stale-low, which only means
+    // we re-check sooner than strictly necessary — never later.
+    return std::max(ringEntry_[slot]->notBefore + 1, cycle_ + 1);
+}
+
 void
 OooCore::issueStage()
 {
     unsigned issued = 0;
     std::size_t kept = 0;
-    for (std::size_t i = 0; i < iqList_.size(); ++i) {
+    const std::size_t n = iqList_.size();
+    for (std::size_t i = 0; i < n; ++i) {
         RobEntry *entry = iqList_[i];
+
+        // Dependencies provably unready: one compare and move on.
+        if (entry->notBefore > cycle_) {
+            iqList_[kept++] = entry;
+            continue;
+        }
+
         bool can = issued < params_.issueWidth;
 
         // Serializing micro-ops issue only from the ROB head.
@@ -514,8 +653,15 @@ OooCore::issueStage()
             entry != &rob_.front())
             can = false;
 
-        if (can && !(depReady(entry->dep1) && depReady(entry->dep2)))
-            can = false;
+        if (can) {
+            Cycles bound =
+                std::max(depBound(entry->dep1),
+                         depBound(entry->dep2));
+            if (bound > cycle_) {
+                entry->notBefore = bound;
+                can = false;
+            }
+        }
 
         unsigned pool = fuPoolOf(entry->uop.cls);
         if (can && fuTokens_[pool] == 0)
@@ -532,12 +678,15 @@ OooCore::issueStage()
             latency = memAccessLatency(*entry);
         else
             latency = classLatency(entry->uop);
+        assert(latency >= 1 && "zero-latency ops would complete in "
+                               "the issue cycle, before writeback");
 
         entry->issued = true;
         entry->readyAt = cycle_ + latency;
         trace(TraceEvent::Issue, entry->seq, entry->pc,
               entry->uop.cls);
         ringReadyAt_[entry->seq & kRingMask] = entry->readyAt;
+        scheduleWriteback(entry->seq, entry->readyAt);
         if (iqCount_ > 0)
             --iqCount_;
         ++issued;
@@ -591,14 +740,17 @@ OooCore::dispatchStage()
         if (entry.uop.cls == OpClass::MemWrite)
             ++sqCount_;
 
-        std::size_t slot = entry.seq & kRingMask;
-        ringSeq_[slot] = entry.seq;
-        ringReadyAt_[slot] = ~0ull;
+        entry.notBefore = 0;
 
         trace(TraceEvent::Dispatch, entry.seq, entry.pc,
               entry.uop.cls);
         rob_.push_back(entry);
-        iqList_.push_back(&rob_.back());
+        RobEntry &placed = rob_.back();
+        std::size_t slot = placed.seq & kRingMask;
+        ringSeq_[slot] = placed.seq;
+        ringReadyAt_[slot] = ~0ull;
+        ringEntry_[slot] = &placed;
+        iqList_.push_back(&placed);
     }
 }
 

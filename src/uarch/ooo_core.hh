@@ -126,6 +126,31 @@ class OooCore
     Cycles runUntilCommitted(std::uint64_t insts,
                              Cycles max_cycles = ~0ull);
 
+    /**
+     * True when a tick would change nothing but the cycle counter:
+     * the pipeline is empty and halted, no microcode or interrupt
+     * work is in flight, and no interrupt can be accepted. The
+     * run-to-next-wakeup loops skip such cycles in one jump.
+     */
+    bool quiesced() const;
+
+    /**
+     * Earliest future cycle at which a quiesced core can become
+     * active again (KB-timer deadline or in-flight IPI arrival);
+     * kNoWake when nothing is scheduled.
+     */
+    Cycles nextWakeCycle() const;
+
+    /** No wake source pending (sentinel of nextWakeCycle()). */
+    static constexpr Cycles kNoWake = ~Cycles(0);
+
+    /**
+     * Jump the clock of a quiesced core forward to `c` without
+     * ticking the pipeline.
+     * @pre quiesced() and c < nextWakeCycle()
+     */
+    void skipTo(Cycles c);
+
     Cycles now() const { return cycle_; }
     unsigned id() const { return id_; }
     bool halted() const;
@@ -185,6 +210,14 @@ class OooCore
         std::uint64_t historyBefore = 0;
         std::uint64_t dep1 = 0;
         std::uint64_t dep2 = 0;
+        /**
+         * Lower bound on the first cycle this entry's dependencies
+         * can all be ready. The issue scan skips the entry with one
+         * compare until then; the bound is refreshed whenever a
+         * dependency check fails, so skipping never delays an issue
+         * (a dep ready at cycle c yields a bound <= c).
+         */
+        Cycles notBefore = 0;
     };
 
     static constexpr std::uint32_t kUcodePc = 0xffffffff;
@@ -209,6 +242,12 @@ class OooCore
     void rebuildRenameTable();
     void applyCommitEffect(const RobEntry &entry);
     bool depReady(std::uint64_t dep) const;
+    /** Earliest cycle `dep` can be ready (0 when ready now). */
+    Cycles depBound(std::uint64_t dep) const;
+    /** Enqueue a just-issued micro-op for writeback at readyAt. */
+    void scheduleWriteback(std::uint64_t seq, Cycles ready_at);
+    /** Drop `seq`'s ring slot when it leaves the ROB. */
+    void releaseRingSlot(const RobEntry &entry);
     unsigned memAccessLatency(RobEntry &entry);
     std::uint64_t genAddress(const MacroOp &op, std::uint32_t pc);
     bool evalBranch(const MacroOp &op, std::uint32_t pc);
@@ -284,11 +323,28 @@ class OooCore
     std::vector<std::uint64_t> execCount_;
 
     // Producer readiness ring, indexed by seq & kRingMask. Avoids a
-    // hash lookup per dependency per cycle.
+    // hash lookup per dependency per cycle. ringEntry_ additionally
+    // resolves a live seq to its ROB entry (deque elements are
+    // pointer-stable); slots are invalidated (ringSeq_ = 0) when the
+    // entry commits or is squashed, so a matching slot always points
+    // at an in-flight entry.
     static constexpr std::size_t kRingSize = 1 << 14;
     static constexpr std::uint64_t kRingMask = kRingSize - 1;
     std::vector<std::uint64_t> ringSeq_;
     std::vector<Cycles> ringReadyAt_;
+    std::vector<RobEntry *> ringEntry_;
+
+    // Completion wheel: bucket per cycle of the seqs whose execution
+    // finishes then, so writeback touches only completing entries
+    // instead of scanning the whole ROB. Latencies beyond the span
+    // wait in farWb_ (checked once per cycle, normally empty).
+    // Buckets hold seqs, validated against the ring when drained, so
+    // squashed entries need no wheel surgery.
+    static constexpr std::size_t kWbSpan = 2048;
+    static constexpr std::uint64_t kWbMask = kWbSpan - 1;
+    std::vector<std::vector<std::uint64_t>> wbWheel_;
+    std::vector<std::uint64_t> farWb_;
+    std::vector<std::uint64_t> wbScratch_;
 
     /** Max micro-ops buffered between fetch and dispatch. */
     static constexpr std::size_t kFetchBufferCap = 48;

@@ -1,5 +1,6 @@
 #include "uarch/uarch_system.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace xui
@@ -87,8 +88,34 @@ UarchSystem::tick()
 void
 UarchSystem::run(Cycles n)
 {
-    for (Cycles i = 0; i < n; ++i)
+    if (cores_.empty())
+        return;
+    Cycles end = cores_[0]->now() + n;
+    while (cores_[0]->now() < end) {
+        // Cores tick in lockstep; when every core is provably idle,
+        // jump all clocks to the earliest wake source in one step.
+        bool all_quiesced = true;
+        Cycles wake = OooCore::kNoWake;
+        for (auto &core : cores_) {
+            if (!core->params().tickSkip || !core->quiesced()) {
+                all_quiesced = false;
+                break;
+            }
+            wake = std::min(wake, core->nextWakeCycle());
+        }
+        if (all_quiesced) {
+            Cycles to = wake == OooCore::kNoWake
+                            ? end
+                            : std::min(wake - 1, end);
+            if (to > cores_[0]->now()) {
+                for (auto &core : cores_)
+                    core->skipTo(to);
+                if (cores_[0]->now() >= end)
+                    break;
+            }
+        }
         tick();
+    }
 }
 
 Cycles

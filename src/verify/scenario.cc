@@ -76,6 +76,7 @@ runScenario(const ScenarioConfig &cfg, TraceLog *capture,
     CoreParams params;
     params.strategy = cfg.strategy;
     params.safepointMode = cfg.safepointMode;
+    params.tickSkip = cfg.tickSkip;
 
     UarchSystem sys(cfg.systemSeed);
 

@@ -36,6 +36,12 @@ struct ScenarioConfig
     std::uint64_t systemSeed = 1;
     DeliveryStrategy strategy = DeliveryStrategy::Tracked;
     bool safepointMode = false;
+    /**
+     * Run-to-next-wakeup in the core's run loops (CoreParams::
+     * tickSkip). Exposed here so the differential harness can pin
+     * digest equality of skipping vs. per-cycle ticking.
+     */
+    bool tickSkip = true;
     FuzzProgramOptions program{};
     /** KB-timer period driving interrupt pressure. */
     Cycles timerPeriod = usToCycles(2);

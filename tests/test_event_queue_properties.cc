@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Property and differential tests for the calendar-queue EventQueue
+ * rewrite. The queue's contract (time order, same-cycle FIFO,
+ * cancel semantics, generation-checked handles, bounded pool) is
+ * checked three ways:
+ *
+ *  - randomized differential runs against a trivially correct
+ *    (when, seq)-ordered reference model, with delays spanning all
+ *    three wheel levels and the overflow horizon;
+ *  - targeted unit tests for the contract edges the old
+ *    binary-heap implementation got wrong (cancel of a fired
+ *    handle corrupted the live count) or could not provide
+ *    (O(1) cancel with immediate slot reclaim);
+ *  - a pinned DES-tier golden workload whose firing digest was
+ *    captured while both the old and the new implementation were
+ *    built side by side and verified to agree event for event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "des/event_queue.hh"
+#include "des/simulation.hh"
+#include "stats/digest.hh"
+#include "stats/rng.hh"
+
+using namespace xui;
+
+namespace
+{
+
+/**
+ * Reference model: pending events keyed by (when, seq). A correct
+ * queue fires exactly the keys <= limit, in key order.
+ */
+class ReferenceModel
+{
+  public:
+    void
+    schedule(Cycles when, std::uint64_t seq, std::uint64_t tag)
+    {
+        pending_.emplace(std::make_pair(when, seq), tag);
+    }
+
+    /** @return true when (when, seq) was still pending. */
+    bool
+    cancel(Cycles when, std::uint64_t seq)
+    {
+        return pending_.erase(std::make_pair(when, seq)) > 0;
+    }
+
+    /** Pop every tag with when <= limit, in firing order. */
+    void
+    drainUntil(Cycles limit, std::vector<std::uint64_t> &out)
+    {
+        auto it = pending_.begin();
+        while (it != pending_.end() && it->first.first <= limit) {
+            out.push_back(it->second);
+            it = pending_.erase(it);
+        }
+    }
+
+    std::size_t size() const { return pending_.size(); }
+
+    Cycles
+    maxWhen() const
+    {
+        return pending_.empty() ? 0 : pending_.rbegin()->first.first;
+    }
+
+  private:
+    std::map<std::pair<Cycles, std::uint64_t>, std::uint64_t>
+        pending_;
+};
+
+/** One live handle in the differential run. */
+struct LiveRef
+{
+    EventId id;
+    Cycles when;
+    std::uint64_t seq;
+};
+
+/**
+ * Drive one randomized schedule/cancel/run workload against the
+ * model. Delay spans are chosen to exercise level 0 (single
+ * cycles), level 1 (1K..1M), level 2 (1M..1G) and the overflow
+ * list (>= 2^30), plus the cascades between them as time advances.
+ */
+void
+runDifferential(std::uint64_t seed)
+{
+    EventQueue q;
+    ReferenceModel model;
+    Rng rng(seed);
+
+    std::vector<std::uint64_t> fired;
+    std::vector<std::uint64_t> expected;
+    std::vector<LiveRef> live;
+    std::uint64_t nextTag = 1;
+    std::uint64_t nextSeq = 0;
+
+    for (int op = 0; op < 400; ++op) {
+        std::uint64_t pick = rng.nextBounded(100);
+        if (pick < 60) {
+            // Schedule with a level-crossing delay distribution.
+            Cycles delay;
+            std::uint64_t span = rng.nextBounded(100);
+            if (span < 50)
+                delay = 1 + rng.nextBounded(600);
+            else if (span < 80)
+                delay = 1 + rng.nextBounded(Cycles(1) << 14);
+            else if (span < 95)
+                delay = 1 + rng.nextBounded(Cycles(1) << 22);
+            else
+                delay = (Cycles(1) << 30) + rng.nextBounded(1 << 12);
+            Cycles when = q.now() + delay;
+            std::uint64_t tag = nextTag++;
+            EventId id = q.scheduleAfter(
+                delay, [&fired, tag] { fired.push_back(tag); });
+            ASSERT_NE(id, kInvalidEventId);
+            model.schedule(when, nextSeq, tag);
+            live.push_back(LiveRef{id, when, nextSeq});
+            ++nextSeq;
+        } else if (pick < 80 && !live.empty()) {
+            // Cancel a random previously returned handle. The model
+            // knows whether it already fired (or was cancelled), so
+            // the return value is fully predicted.
+            std::size_t i = rng.nextBounded(live.size());
+            LiveRef ref = live[i];
+            live[i] = live.back();
+            live.pop_back();
+            bool expect = model.cancel(ref.when, ref.seq);
+            EXPECT_EQ(q.cancel(ref.id), expect)
+                << "seed " << seed << " op " << op;
+            // A second cancel of the same handle is always false.
+            EXPECT_FALSE(q.cancel(ref.id));
+        } else {
+            Cycles limit = q.now() + rng.nextBounded(2000);
+            model.drainUntil(limit, expected);
+            q.runUntil(limit);
+            EXPECT_EQ(q.now(), limit);
+            ASSERT_EQ(fired, expected)
+                << "seed " << seed << " op " << op;
+        }
+        ASSERT_EQ(q.pending(), model.size());
+        ASSERT_EQ(q.empty(), model.size() == 0);
+    }
+
+    // Drain everything, including far-future overflow events.
+    Cycles end = model.maxWhen();
+    model.drainUntil(end, expected);
+    q.runUntil(end);
+    EXPECT_EQ(fired, expected) << "seed " << seed;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.firedCount(), fired.size());
+}
+
+} // namespace
+
+TEST(EventQueueProperties, DifferentialAgainstReferenceModel)
+{
+    for (std::uint64_t seed : {1, 2, 3, 5, 8, 13, 21, 34})
+        runDifferential(seed);
+}
+
+TEST(EventQueueProperties, OverflowHorizonFiresInOrder)
+{
+    // Events beyond the 2^30-cycle wheel horizon live in the
+    // unsorted overflow list and must still fire in (when, seq)
+    // order after cascading back into the wheels.
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt((Cycles(1) << 32) + 5, [&] { order.push_back(4); });
+    q.scheduleAt((Cycles(1) << 30) + 1, [&] { order.push_back(2); });
+    q.scheduleAt((Cycles(1) << 32) + 5, [&] { order.push_back(5); });
+    q.scheduleAt(100, [&] { order.push_back(1); });
+    q.scheduleAt((Cycles(1) << 31), [&] { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(q.now(), (Cycles(1) << 32) + 5);
+}
+
+TEST(EventQueueProperties, SameCycleFifoSurvivesLevelCascade)
+{
+    // Ten ties scheduled for a far cycle pass through level 2 and
+    // level 1 before draining; the seq-sorted drain must still
+    // yield scheduling order.
+    EventQueue q;
+    const Cycles when = (Cycles(1) << 21) + 123;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAt(when, [&order, i] { order.push_back(i); });
+    q.runAll();
+    ASSERT_EQ(order.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueProperties, ScheduleIntoCycleBeingDrainedIsFifo)
+{
+    // An event firing at cycle T may schedule more work for cycle T
+    // itself; the new work joins the tail of the active drain list.
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(50, [&] {
+        order.push_back(0);
+        q.scheduleAfter(0, [&] { order.push_back(2); });
+    });
+    q.scheduleAt(50, [&] { order.push_back(1); });
+    q.scheduleAt(51, [&] { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(q.now(), 51u);
+}
+
+TEST(EventQueueProperties, CancelOfFiredHandleIsInert)
+{
+    // Regression for the old binary-heap implementation: cancelling
+    // an already-fired handle returned true and decremented the
+    // live count below zero, after which runUntil() on a drained
+    // queue failed to advance the clock to the limit.
+    EventQueue q;
+    int fires = 0;
+    EventId a = q.scheduleAt(10, [&] { ++fires; });
+    q.scheduleAt(30, [&] { ++fires; });
+    q.runUntil(20);
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(100);
+    EXPECT_EQ(fires, 2);
+    EXPECT_TRUE(q.empty());
+    // The clock must reach the limit even after the stale cancel.
+    EXPECT_EQ(q.now(), 100u);
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueueProperties, GenerationReuseNeverResurrects)
+{
+    // Cancelling reclaims the pool slot immediately; the next
+    // schedule reuses it under a bumped generation. The stale
+    // handle must neither cancel nor otherwise affect the new
+    // occupant.
+    EventQueue q;
+    bool newFired = false;
+    EventId a = q.scheduleAt(10, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_EQ(q.poolSize(), 1u);
+    EventId b = q.scheduleAt(20, [&] { newFired = true; });
+    EXPECT_EQ(q.poolSize(), 1u) << "cancel must reclaim the slot";
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_EQ(q.pending(), 1u);
+    q.runAll();
+    EXPECT_TRUE(newFired);
+    // Same story for a handle invalidated by firing.
+    EXPECT_FALSE(q.cancel(b));
+}
+
+TEST(EventQueueProperties, PoolBoundedUnderScheduleCancelChurn)
+{
+    // One million schedule/cancel cycles must not grow the pool:
+    // both cancel and fire reclaim slots eagerly. The old lazy
+    // cancellation left every cancelled event in the heap until its
+    // fire time, so this workload made the heap a million entries
+    // deep.
+    EventQueue q;
+    for (int i = 0; i < 1'000'000; ++i) {
+        EventId id = q.scheduleAfter(1 + (i % 777), [] {});
+        ASSERT_TRUE(q.cancel(id));
+    }
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_LE(q.poolSize(), 2u);
+
+    // Batched variant: peak simultaneous pending bounds the pool.
+    for (int round = 0; round < 10'000; ++round) {
+        EventId ids[8];
+        for (int i = 0; i < 8; ++i)
+            ids[i] = q.scheduleAfter(5 + i, [] {});
+        for (int i = 0; i < 8; ++i)
+            ASSERT_TRUE(q.cancel(ids[i]));
+    }
+    EXPECT_LE(q.poolSize(), 8u);
+}
+
+TEST(EventQueueProperties, LargeCallbackHeapFallback)
+{
+    // Callables above SmallCallback::kInlineBytes live on the heap;
+    // both the fired and the cancelled path must destroy them.
+    auto token = std::make_shared<int>(7);
+    struct Big
+    {
+        std::shared_ptr<int> token;
+        std::uint64_t pad[8];
+        int *out;
+        void operator()() const { *out = *token; }
+    };
+    static_assert(sizeof(Big) > SmallCallback::kInlineBytes);
+
+    int result = 0;
+    {
+        EventQueue q;
+        q.scheduleAt(5, Big{token, {}, &result});
+        EventId dropped = q.scheduleAt(6, Big{token, {}, &result});
+        EXPECT_EQ(token.use_count(), 3);
+        EXPECT_TRUE(q.cancel(dropped));
+        EXPECT_EQ(token.use_count(), 2) << "cancel must destroy";
+        q.runAll();
+        EXPECT_EQ(result, 7);
+        EXPECT_EQ(token.use_count(), 1) << "fire must destroy";
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueueProperties, DesGoldenWorkloadPinned)
+{
+    // Golden pin for the DES tier: periodic events on coprime
+    // periods, 200 rounds of randomized scheduling with cancels of
+    // still-pending handles, drained in randomized slices. The
+    // three pinned values were captured with the pre-rewrite
+    // binary-heap queue and the calendar queue built side by side
+    // from the same translation units; both produced exactly this
+    // firing sequence. (The workload deliberately cancels only
+    // provably pending handles: the old queue returned true and
+    // corrupted its live count when handed a fired handle, so a
+    // workload tickling that bug has no meaningful old-queue
+    // golden. CancelOfFiredHandleIsInert pins the fixed semantics.)
+    Simulation sim;
+    Rng rng(0xdecaf);
+    Fnv1a digest;
+
+    PeriodicEvent p1(sim.queue(), 7, [&] {
+        digest.update(1);
+        return true;
+    });
+    PeriodicEvent p2(sim.queue(), 13, [&] {
+        digest.update(2);
+        return true;
+    });
+    PeriodicEvent p3(sim.queue(), 97, [&] {
+        digest.update(3);
+        return true;
+    });
+    p1.start(3);
+    p2.start(5);
+    p3.start(11);
+
+    for (unsigned round = 0; round < 200; ++round) {
+        EventId batch[8];
+        for (unsigned i = 0; i < 8; ++i) {
+            Cycles delay = 1 + rng.nextBounded(300);
+            std::uint64_t tag = round * 100 + i;
+            batch[i] = sim.queue().scheduleAfter(
+                delay, [&digest, tag] { digest.update(tag); });
+        }
+        // Delays are >= 1 and nothing ran since, so every handle in
+        // the batch is still pending here; repeats hit the
+        // already-cancelled (false) path.
+        for (unsigned i = 0; i < 3; ++i) {
+            bool ok = sim.queue().cancel(batch[rng.nextBounded(8)]);
+            digest.update(ok ? 0xC1 : 0xC0);
+        }
+        sim.runUntil(sim.now() + 40 + rng.nextBounded(60));
+    }
+    p1.stop();
+    p2.stop();
+    p3.stop();
+    sim.runUntil(sim.now() + 1000);
+
+    EXPECT_EQ(sim.queue().firedCount(), 4268u);
+    EXPECT_EQ(sim.now(), 14852u);
+    EXPECT_EQ(digest.value(), 0x1a51570aa56d1c5bull);
+}

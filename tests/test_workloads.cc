@@ -1,0 +1,183 @@
+/**
+ * @file
+ * First unit coverage for the synthetic workload kernels
+ * (src/workloads/kernels.*). Two layers of pins:
+ *
+ *  - structural pins: program length and handler entry point per
+ *    kernel and per instrumentation mode. These catch accidental
+ *    changes to the generated instruction mix (an extra op shifts
+ *    every PC and silently invalidates all recorded digests);
+ *  - behavioural pins: full/arch digests, committed-instruction
+ *    counts, cycle counts and delivered-interrupt counts from a
+ *    fixed-seed run of each kernel on the cycle-level core, with
+ *    and without KB-timer interrupt pressure.
+ *
+ * The behavioural goldens were captured before the simulator
+ * hot-path overhaul (calendar event queue, writeback wheel,
+ * run-to-next-wakeup) and verified bit-identical after it; they pin
+ * the architectural timeline, not just the final state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "uarch/uarch_system.hh"
+#include "verify/digest_tracer.hh"
+#include "workloads/kernels.hh"
+
+using namespace xui;
+
+namespace
+{
+
+struct SizePin
+{
+    const char *name;
+    Program prog;
+    std::uint32_t size;
+    std::uint32_t handlerEntry;
+};
+
+struct KernelGolden
+{
+    const char *name;
+    Program prog;
+    bool timer;
+    std::uint64_t committedInsts;
+    Cycles cycles;
+    std::uint64_t fullDigest;
+    std::uint64_t archDigest;
+    std::uint64_t delivered;
+};
+
+/** The fixed capture recipe behind every behavioural golden. */
+void
+runKernelGolden(const KernelGolden &g)
+{
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Flush;
+    UarchSystem sys(7);
+    OooCore &core = sys.addCore(params, &g.prog);
+    DigestTracer digest;
+    sys.setTracer(&digest);
+    if (g.timer) {
+        core.kbTimer().configure(true, 0x21);
+        core.kbTimer().setTimer(0, 300, KbTimerMode::Periodic);
+    }
+    core.runUntilCommitted(3000, 400000);
+
+    EXPECT_EQ(core.stats().committedInsts, g.committedInsts)
+        << g.name << " timer=" << g.timer;
+    EXPECT_EQ(core.now(), g.cycles) << g.name << " timer=" << g.timer;
+    EXPECT_EQ(digest.fullDigest(), g.fullDigest)
+        << g.name << " timer=" << g.timer;
+    EXPECT_EQ(digest.archDigest(), g.archDigest)
+        << g.name << " timer=" << g.timer;
+    EXPECT_EQ(core.stats().interruptsDelivered, g.delivered)
+        << g.name << " timer=" << g.timer;
+}
+
+} // namespace
+
+TEST(WorkloadKernels, ProgramSizesAndHandlerEntriesPinned)
+{
+    SizePin pins[] = {
+        {"fib", makeFib(), 15, 10},
+        {"linpack", makeLinpack(), 13, 8},
+        {"memops", makeMemops(), 12, 7},
+        {"matmul", makeMatmul(), 13, 8},
+        {"base64", makeBase64(), 14, 9},
+        {"pointer_chase", makePointerChase(16, 1ull << 16, false),
+         22, 17},
+        {"spin_loop", makeSpinLoop(), 8, 3},
+        {"sender_loop", makeSenderLoop(0), 8, 3},
+    };
+    for (const SizePin &p : pins) {
+        EXPECT_EQ(p.prog.size(), p.size) << p.name;
+        EXPECT_EQ(p.prog.handlerEntry(), p.handlerEntry) << p.name;
+    }
+}
+
+TEST(WorkloadKernels, InstrumentationChangesShapePredictably)
+{
+    // Polling adds a load + branch at the back edge; safepoints are
+    // single ops folded into existing slots; no handler drops the
+    // handler region entirely.
+    KernelOptions polling;
+    polling.instr = Instrumentation::Polling;
+    Program fibPolling = makeFib(polling);
+    EXPECT_EQ(fibPolling.size(), 17u);
+
+    KernelOptions safepoint;
+    safepoint.instr = Instrumentation::Safepoint;
+    Program fibSafepoint = makeFib(safepoint);
+    EXPECT_EQ(fibSafepoint.size(), 15u);
+
+    KernelOptions bare;
+    bare.withHandler = false;
+    Program fibBare = makeFib(bare);
+    EXPECT_EQ(fibBare.size(), 10u);
+    EXPECT_EQ(fibBare.handlerEntry(), Program::kNoHandler);
+}
+
+TEST(WorkloadKernels, SingleCoreGoldensPinned)
+{
+    KernelGolden goldens[] = {
+        // {name, prog, timer, insts, cycles, full, arch, delivered}
+        {"fib", makeFib(), false, 3000, 2767,
+         0x31b92cd630a35cfcull, 0x04b863b2f4781b6bull, 0},
+        {"fib", makeFib(), true, 3000, 23061,
+         0xb7bc7a50e1dc33adull, 0x36293302b06fe02aull, 38},
+        {"linpack", makeLinpack(), false, 3005, 2202,
+         0x431db917f2a59757ull, 0x58d3c655ca14e123ull, 0},
+        {"linpack", makeLinpack(), true, 3003, 14681,
+         0xac53b3f5a579e5f5ull, 0xe2c7843018e36586ull, 24},
+        {"memops", makeMemops(), false, 3001, 3320,
+         0x176ed2e6cd717d0full, 0x2db2a752ffc5fc03ull, 0},
+        {"memops", makeMemops(), true, 3000, 12276,
+         0xf69bc2a2a55ab4c5ull, 0x491a110abae3fea2ull, 20},
+        {"matmul", makeMatmul(), false, 3005, 2502,
+         0x3ec282f59f2b2a94ull, 0x44212bcae877e1e6ull, 0},
+        {"matmul", makeMatmul(), true, 3002, 21868,
+         0x0c0fbcb7ec69eeb7ull, 0x36c9866a27343401ull, 36},
+        {"base64", makeBase64(), false, 3003, 2389,
+         0x2d24406fca01d01dull, 0x17d782c31e784e0dull, 0},
+        {"base64", makeBase64(), true, 3000, 19438,
+         0x48ff47e13eedbf20ull, 0x86a4b91f7b272484ull, 32},
+        {"pointer_chase", makePointerChase(16, 1ull << 16, false),
+         false, 3000, 229535,
+         0xf8b6e52d7985b832ull, 0xe65b2da1dda50d25ull, 0},
+        {"pointer_chase", makePointerChase(16, 1ull << 16, false),
+         true, 3000, 327221,
+         0xd4efc322520c4404ull, 0xdd74972c6e4781e2ull, 545},
+        {"spin_loop", makeSpinLoop(), false, 3001, 1031,
+         0x7335c1138a3e1c29ull, 0xe8bb0c0369ab3045ull, 0},
+        {"spin_loop", makeSpinLoop(), true, 3001, 9271,
+         0x0adba350aef58b60ull, 0x6b59d091c7a83982ull, 15},
+    };
+    for (const KernelGolden &g : goldens)
+        runKernelGolden(g);
+}
+
+TEST(WorkloadKernels, SenderReceiverGoldenPinned)
+{
+    // Table 2 shape: a spin-loop receiver registered for vector
+    // 0x21, a sender core issuing senduipi at it through the UITT.
+    CoreParams params;
+    UarchSystem sys(11);
+    Program recvProg = makeSpinLoop();
+    OooCore &recv = sys.addCore(params, &recvProg);
+    int idx = sys.registerRoute(recv, 0x21);
+    ASSERT_GE(idx, 0);
+    Program sendProg = makeSenderLoop(static_cast<unsigned>(idx));
+    OooCore &send = sys.addCore(params, &sendProg);
+    DigestTracer digest;
+    sys.setTracer(&digest);
+    sys.run(200000);
+
+    EXPECT_EQ(digest.fullDigest(), 0x0627f346b4347db0ull);
+    EXPECT_EQ(digest.archDigest(), 0xf8bdc460b40d4aa1ull);
+    EXPECT_EQ(send.stats().committedInsts, 1572u);
+    EXPECT_EQ(recv.stats().interruptsDelivered, 261u);
+}
