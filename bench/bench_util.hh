@@ -2,11 +2,14 @@
  * @file
  * Shared helpers for the bench binaries: flag parsing and header
  * banners. Every bench accepts `--quick` (shorter runs for CI),
- * `--seed N`, and the observability flags `--metrics-json FILE` /
- * `--trace-json FILE` (src/obs: metrics snapshot and Perfetto-
- * loadable Chrome trace export). Unknown flags and flags missing
- * their value are errors: usage goes to stderr and the bench exits
- * with status 2.
+ * `--seed N`, `--jobs N` (worker threads for the config-grid sweep;
+ * 0/unset = one per hardware thread, 1 = the legacy serial path —
+ * results are bit-identical either way), and the observability
+ * flags `--metrics-json FILE` / `--trace-json FILE` (src/obs:
+ * metrics snapshot and Perfetto-loadable Chrome trace export).
+ * Unknown flags, flags missing their value, and malformed `--jobs`
+ * values (0, signs, non-digits) are errors: usage goes to stderr
+ * and the bench exits with status 2.
  */
 
 #ifndef XUI_BENCH_BENCH_UTIL_HH
@@ -17,6 +20,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "exec/sweep.hh"
 
 namespace xui::bench
 {
@@ -29,13 +34,15 @@ struct Options
     std::string metricsJson;
     /** `--trace-json FILE`: write a Chrome trace ("" = off). */
     std::string traceJson;
+    /** `--jobs N`: sweep worker threads (0 = hardware threads). */
+    unsigned jobs = 0;
 };
 
 inline void
 printUsage(std::FILE *out, const char *prog)
 {
     std::fprintf(out,
-                 "usage: %s [--quick] [--seed N] "
+                 "usage: %s [--quick] [--seed N] [--jobs N] "
                  "[--metrics-json FILE] [--trace-json FILE]\n",
                  prog);
 }
@@ -56,6 +63,22 @@ parseArgs(int argc, char **argv)
                 std::exit(2);
             }
             opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --jobs needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!exec::parseJobs(v, opts.jobs)) {
+                std::fprintf(stderr,
+                             "%s: --jobs needs an integer >= 1, "
+                             "got '%s'\n",
+                             argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
         } else if (std::strcmp(arg, "--metrics-json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,

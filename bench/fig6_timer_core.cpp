@@ -7,9 +7,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "des/simulation.hh"
+#include "exec/sweep.hh"
 #include "obs/session.hh"
 #include "os/kernel.hh"
 #include "os/timer_core.hh"
@@ -35,30 +37,55 @@ main(int argc, char **argv)
     const char *iface_names[] = {"setitimer()", "nanosleep()",
                                  "rdtsc spin", "xUI KB_Timer"};
 
-    for (double us : {5.0, 20.0, 100.0}) {
-        TablePrinter t("Timer-core utilization, preemption interval " +
-                       TablePrinter::num(us, 0) + " us");
-        std::vector<std::string> header{"App cores"};
-        for (const char *n : iface_names)
-            header.push_back(n);
-        header.push_back("achieved (setitimer)");
-        t.setHeader(header);
-        for (unsigned cores : {1u, 2u, 4u, 8u, 16u, 22u, 28u}) {
-            std::vector<std::string> row{
-                TablePrinter::integer(cores)};
-            double achieved_setitimer = 1.0;
+    // One job per (interval, app-core-count) cell; each cell runs
+    // the four timer interfaces on its own Simulation, so the grid
+    // fans out across threads with bit-identical tables.
+    const std::vector<double> intervals{5.0, 20.0, 100.0};
+    const std::vector<unsigned> core_counts{1u, 2u, 4u, 8u,
+                                            16u, 22u, 28u};
+    struct Cell
+    {
+        double util[4] = {0, 0, 0, 0};
+        double achievedSetitimer = 1.0;
+    };
+    const std::size_t n = intervals.size() * core_counts.size();
+    std::vector<Cell> cells = exec::sweep(
+        n, opts.jobs, [&](std::size_t idx) {
+            const double us = intervals[idx / core_counts.size()];
+            const unsigned cores =
+                core_counts[idx % core_counts.size()];
+            Cell cell;
             for (std::size_t i = 0; i < 4; ++i) {
                 Simulation sim(opts.seed);
                 TimerCoreModel m(sim, costs, ifaces[i],
                                  usToCycles(us), cores);
                 m.run(duration);
-                row.push_back(
-                    TablePrinter::percent(m.utilization(), 1));
+                cell.util[i] = m.utilization();
                 if (ifaces[i] == TimerInterface::Setitimer)
-                    achieved_setitimer = m.achievedRateFraction();
+                    cell.achievedSetitimer =
+                        m.achievedRateFraction();
             }
+            return cell;
+        });
+
+    for (std::size_t ui = 0; ui < intervals.size(); ++ui) {
+        const double us = intervals[ui];
+        TablePrinter t("Timer-core utilization, preemption interval " +
+                       TablePrinter::num(us, 0) + " us");
+        std::vector<std::string> header{"App cores"};
+        for (const char *n2 : iface_names)
+            header.push_back(n2);
+        header.push_back("achieved (setitimer)");
+        t.setHeader(header);
+        for (std::size_t ci = 0; ci < core_counts.size(); ++ci) {
+            const Cell &cell = cells[ui * core_counts.size() + ci];
+            std::vector<std::string> row{
+                TablePrinter::integer(core_counts[ci])};
+            for (std::size_t i = 0; i < 4; ++i)
+                row.push_back(
+                    TablePrinter::percent(cell.util[i], 1));
             row.push_back(
-                TablePrinter::percent(achieved_setitimer, 0));
+                TablePrinter::percent(cell.achievedSetitimer, 0));
             t.addRow(row);
         }
         t.print(std::cout);

@@ -7,8 +7,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "exec/sweep.hh"
 #include "net/l3fwd.hh"
 #include "obs/session.hh"
 #include "stats/table.hh"
@@ -26,27 +28,49 @@ main(int argc, char **argv)
     Cycles duration = (opts.quick ? 20 : 100) * kCyclesPerMs;
     std::size_t routes = opts.quick ? 4000 : 16000;
 
-    for (unsigned nics : {1u, 2u, 4u, 8u}) {
-        TablePrinter t("NICs = " + std::to_string(nics) +
+    // One job per (NIC count, load) cell running both rx modes on
+    // its own DES instance; the (nics, load) grid fans out across
+    // threads and reduces into tables in grid order.
+    const std::vector<unsigned> nic_counts{1u, 2u, 4u, 8u};
+    const std::vector<double> loads{0.1, 0.2, 0.4, 0.6, 0.8};
+    struct Cell
+    {
+        L3FwdResult poll;
+        L3FwdResult xui;
+    };
+    std::vector<Cell> cells = exec::sweep(
+        nic_counts.size() * loads.size(), opts.jobs,
+        [&](std::size_t idx) {
+            L3FwdConfig base;
+            base.duration = duration;
+            base.routeCount = routes;
+            base.numNics = nic_counts[idx / loads.size()];
+            base.load = loads[idx % loads.size()];
+            base.seed = opts.seed;
+
+            Cell cell;
+            L3FwdConfig pc = base;
+            pc.mode = RxMode::Polling;
+            cell.poll = runL3Fwd(pc);
+
+            L3FwdConfig xc = base;
+            xc.mode = RxMode::XuiForwarded;
+            cell.xui = runL3Fwd(xc);
+            return cell;
+        });
+
+    for (std::size_t ni = 0; ni < nic_counts.size(); ++ni) {
+        TablePrinter t("NICs = " + std::to_string(nic_counts[ni]) +
                        " (cycle fractions; latency in us)");
         t.setHeader({"Load", "poll net%", "poll free%", "xUI net%",
                      "xUI notif%", "xUI free%", "poll p95",
                      "xUI p95", "thr ratio"});
-        for (double load : {0.1, 0.2, 0.4, 0.6, 0.8}) {
-            L3FwdConfig base;
-            base.duration = duration;
-            base.routeCount = routes;
-            base.numNics = nics;
-            base.load = load;
-            base.seed = opts.seed;
-
-            L3FwdConfig pc = base;
-            pc.mode = RxMode::Polling;
-            L3FwdResult poll = runL3Fwd(pc);
-
-            L3FwdConfig xc = base;
-            xc.mode = RxMode::XuiForwarded;
-            L3FwdResult xui = runL3Fwd(xc);
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const double load = loads[li];
+            const L3FwdResult &poll =
+                cells[ni * loads.size() + li].poll;
+            const L3FwdResult &xui =
+                cells[ni * loads.size() + li].xui;
 
             double thr_ratio = poll.forwarded
                 ? static_cast<double>(xui.forwarded) /

@@ -20,6 +20,14 @@
  *
  * Emits BENCH_simspeed.json (cwd) with per-scenario rates and the
  * speedup against the pre-optimization baseline recorded below.
+ *
+ * A second, parallel-scaling section sweeps a corpus of fuzz
+ * scenarios through the src/exec engine at a worker-thread ladder
+ * (1/2/4/8, or powers of two up to `--jobs N`), cross-checks that
+ * the combined digests are bit-identical at every rung, and emits
+ * BENCH_parallel.json with sims/sec and speedup-vs-serial. The
+ * canonical four scenarios above stay serial so their wall-clock
+ * rates remain comparable against kBaseline.
  */
 
 #include <chrono>
@@ -28,6 +36,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "exec/sweep.hh"
 #include "des/simulation.hh"
 #include "net/l3fwd.hh"
 #include "os/cost_model.hh"
@@ -235,6 +244,157 @@ runFuzz(bool quick, std::uint64_t seed)
     return r;
 }
 
+// ----------------------------------------------------------------------
+// Parallel-scaling mode (src/exec sweep engine)
+// ----------------------------------------------------------------------
+
+/** One rung of the worker-thread ladder. */
+struct ScalePoint
+{
+    unsigned jobs = 1;
+    double wallSec = 0.0;
+    std::size_t sims = 0;
+    /** Order-sensitive combination of every scenario fullDigest. */
+    std::uint64_t digest = 0;
+
+    double simsPerSec() const
+    {
+        return wallSec > 0.0
+            ? static_cast<double>(sims) / wallSec
+            : 0.0;
+    }
+};
+
+/**
+ * Thread ladder for the scaling sweep: powers of two up to the
+ * ceiling, plus the ceiling itself. `--jobs 0` (auto) uses the
+ * fixed 1/2/4/8 ladder so JSON output is machine-comparable across
+ * hosts regardless of core count.
+ */
+std::vector<unsigned>
+jobLadder(unsigned requested)
+{
+    const unsigned cap = requested == 0 ? 8 : requested;
+    std::vector<unsigned> ladder;
+    for (unsigned j = 1; j <= cap; j *= 2)
+        ladder.push_back(j);
+    if (ladder.back() != cap)
+        ladder.push_back(cap);
+    return ladder;
+}
+
+/** Run the fuzz-scenario corpus once at `jobs` worker threads. */
+ScalePoint
+runScaleRung(unsigned jobs, std::size_t sims, bool quick,
+             std::uint64_t seed)
+{
+    ScalePoint p;
+    p.jobs = jobs;
+    p.sims = sims;
+    WallTimer t;
+    exec::sweepReduce(
+        sims, jobs,
+        [&](std::size_t i) {
+            ScenarioConfig cfg;
+            cfg.programSeed = seed + 100 + i;
+            cfg.systemSeed = seed + 200 + i;
+            cfg.strategy = (i % 2 == 0) ? DeliveryStrategy::Flush
+                                        : DeliveryStrategy::Tracked;
+            cfg.targetInsts = quick ? 4'000 : 40'000;
+            ScenarioResult res = runScenario(cfg);
+            return res.fullDigest;
+        },
+        [&](std::size_t, std::uint64_t digest) {
+            // Order-sensitive mix (splitmix-style) — any reorder of
+            // the reduction would change the combined value.
+            p.digest ^= digest + 0x9e3779b97f4a7c15ull +
+                (p.digest << 6) + (p.digest >> 2);
+        });
+    p.wallSec = t.seconds();
+    return p;
+}
+
+void
+writeParallelJson(const char *path,
+                  const std::vector<ScalePoint> &points, bool quick,
+                  std::uint64_t seed)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        std::exit(1);
+    }
+    const double serial =
+        points.empty() ? 0.0 : points.front().simsPerSec();
+    std::fprintf(f, "{\n  \"bench\": \"simspeed_parallel\",\n");
+    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"corpus_sims\": %zu,\n",
+                 points.empty() ? std::size_t{0} : points[0].sims);
+    std::fprintf(f, "  \"digest\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(
+                     points.empty() ? 0 : points[0].digest));
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ScalePoint &p = points[i];
+        std::fprintf(f,
+                     "    {\"jobs\": %u, \"wall_seconds\": %.6f, "
+                     "\"sims_per_sec\": %.2f, "
+                     "\"speedup_vs_serial\": %.2f}%s\n",
+                     p.jobs, p.wallSec, p.simsPerSec(),
+                     serial > 0.0 ? p.simsPerSec() / serial : 0.0,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+/**
+ * Sweep the corpus at every rung, verify digest bit-identity
+ * across thread counts, print the table, and write `path`.
+ * Exits 1 on any cross-thread-count digest divergence.
+ */
+void
+runScalingMode(const char *path, const bench::Options &opts)
+{
+    const std::size_t sims = opts.quick ? 8 : 16;
+    std::vector<ScalePoint> points;
+    for (unsigned j : jobLadder(opts.jobs))
+        points.push_back(
+            runScaleRung(j, sims, opts.quick, opts.seed));
+
+    std::printf("\nparallel scaling (fuzz corpus, %zu sims; src/exec "
+                "sweep engine)\n",
+                sims);
+    std::printf("%6s %10s %12s %9s %18s\n", "jobs", "wall s",
+                "sims/s", "speedup", "digest");
+    for (const ScalePoint &p : points) {
+        std::printf("%6u %10.3f %12.2f %8.2fx   %016llx\n", p.jobs,
+                    p.wallSec, p.simsPerSec(),
+                    points[0].simsPerSec() > 0.0
+                        ? p.simsPerSec() / points[0].simsPerSec()
+                        : 0.0,
+                    static_cast<unsigned long long>(p.digest));
+    }
+
+    for (const ScalePoint &p : points) {
+        if (p.digest != points[0].digest) {
+            std::fprintf(stderr,
+                         "FAIL: digest diverged at --jobs %u "
+                         "(%016llx vs %016llx at --jobs %u)\n",
+                         p.jobs,
+                         static_cast<unsigned long long>(p.digest),
+                         static_cast<unsigned long long>(
+                             points[0].digest),
+                         points[0].jobs);
+            std::exit(1);
+        }
+    }
+    std::printf("digests bit-identical across all thread counts\n");
+    writeParallelJson(path, points, opts.quick, opts.seed);
+}
+
 void
 writeJson(const char *path, const std::vector<SpeedResult> &results,
           bool quick, std::uint64_t seed)
@@ -300,5 +460,8 @@ main(int argc, char **argv)
 
     writeJson("BENCH_simspeed.json", results, opts.quick, opts.seed);
     std::printf("\nwrote BENCH_simspeed.json\n");
+
+    runScalingMode("BENCH_parallel.json", opts);
+    std::printf("wrote BENCH_parallel.json\n");
     return 0;
 }

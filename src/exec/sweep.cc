@@ -1,0 +1,41 @@
+#include "exec/sweep.hh"
+
+#include <cctype>
+#include <thread>
+
+namespace xui::exec
+{
+
+unsigned
+hardwareJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+unsigned
+effectiveJobs(unsigned requested)
+{
+    return requested == 0 ? hardwareJobs() : requested;
+}
+
+bool
+parseJobs(const char *text, unsigned &jobs)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    unsigned long value = 0;
+    for (const char *p = text; *p != '\0'; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return false;
+        value = value * 10 + static_cast<unsigned long>(*p - '0');
+        if (value > 1024)
+            return false;
+    }
+    if (value == 0)
+        return false;
+    jobs = static_cast<unsigned>(value);
+    return true;
+}
+
+} // namespace xui::exec

@@ -1,0 +1,112 @@
+#include "exec/thread_pool.hh"
+
+#include <utility>
+
+namespace xui::exec
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<TaskQueue>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        target = nextQueue_++ % queues_.size();
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lk(queues_[target]->mu);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] { return pending_ == 0; });
+}
+
+bool
+ThreadPool::popOwn(unsigned self, std::function<void()> &out)
+{
+    TaskQueue &q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.tasks.empty())
+        return false;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::stealOther(unsigned self, std::function<void()> &out)
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        TaskQueue &victim = *queues_[(self + k) % n];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (victim.tasks.empty())
+            continue;
+        out = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        return true;
+    }
+    return false;
+}
+
+bool
+ThreadPool::anyQueued()
+{
+    for (auto &q : queues_) {
+        std::lock_guard<std::mutex> lk(q->mu);
+        if (!q->tasks.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (popOwn(self, task) || stealOther(self, task)) {
+            task();
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--pending_ == 0)
+                idle_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(mu_);
+        wake_.wait(lk, [this] { return stop_ || anyQueued(); });
+        if (stop_ && !anyQueued())
+            return;
+    }
+}
+
+} // namespace xui::exec

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool — the execution substrate of
+ * the deterministic sweep engine (exec/sweep.hh).
+ *
+ * Each worker owns a deque of tasks; submit() distributes round-
+ * robin across the deques, workers pop from the front of their own
+ * deque and, when it runs dry, steal from the back of a victim's.
+ * The pool never touches simulation state: tasks are opaque
+ * closures, and every determinism guarantee lives one layer up in
+ * the sweep's ordered reduction.
+ *
+ * Lock ordering: a task queue's mutex is only ever acquired either
+ * alone or while holding `mu_` (the counter mutex); no path holds a
+ * queue mutex while taking `mu_`, so the two levels cannot
+ * deadlock.
+ */
+
+#ifndef XUI_EXEC_THREAD_POOL_HH
+#define XUI_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xui::exec
+{
+
+/**
+ * A pool of `threads` workers executing submitted closures. Tasks
+ * may be submitted from any thread; completion is observed through
+ * waitIdle(). Destruction drains every queued task first.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task (round-robin across worker deques). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished executing. */
+    void waitIdle();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    /** One worker's deque; stolen from the back, popped from the
+     *  front by its owner. */
+    struct TaskQueue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    bool popOwn(unsigned self, std::function<void()> &out);
+    bool stealOther(unsigned self, std::function<void()> &out);
+    /** True when any deque holds a task. Caller must hold mu_. */
+    bool anyQueued();
+    void workerLoop(unsigned self);
+
+    std::vector<std::unique_ptr<TaskQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    /** Tasks submitted and not yet finished executing. */
+    std::size_t pending_ = 0;
+    /** Next deque submit() will push to. */
+    std::size_t nextQueue_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace xui::exec
+
+#endif // XUI_EXEC_THREAD_POOL_HH

@@ -76,6 +76,17 @@ MetricsRegistry::internLatency(const std::string &name,
     return id;
 }
 
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counter(name).inc(c->value());
+    for (const auto &[name, g] : other.gauges_)
+        gauge(name).set(g->value());
+    for (const auto &[name, l] : other.latencies_)
+        latency(name).merge(l->hist());
+}
+
 const Counter *
 MetricsRegistry::findCounter(const std::string &name) const
 {

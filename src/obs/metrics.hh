@@ -127,6 +127,17 @@ class MetricsRegistry
         return *latencySlots_[id];
     }
 
+    /**
+     * Fold another registry into this one, get-or-creating each
+     * metric by name: counters add, gauges take the other side's
+     * value (last merge wins), latency histograms merge exactly
+     * (Histogram::merge re-buckets on config mismatch). Iteration
+     * is in sorted name order, so merging per-job registries in
+     * job-index order — the exec::sweep reduction — produces a
+     * snapshot that is bit-identical for every thread count.
+     */
+    void merge(const MetricsRegistry &other);
+
     /** Lookup without creating (nullptr when absent). */
     const Counter *findCounter(const std::string &name) const;
     const Gauge *findGauge(const std::string &name) const;

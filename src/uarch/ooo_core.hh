@@ -283,7 +283,13 @@ class OooCore
     Tracer *tracer_ = nullptr;
     IntrLifecycleObserver *intrObs_ = nullptr;
 
-    Mcrom mcrom_;
+    /**
+     * Microcode routine tables; const so a core shared read-only
+     * across sweep worker threads cannot mutate them after
+     * construction (parallel sweeps give every job its own core,
+     * but the freeze makes the invariant structural).
+     */
+    const Mcrom mcrom_;
     MemHierarchy mem_;
     BranchPredictor predictor_;
     InterruptUnit intr_;

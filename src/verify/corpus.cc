@@ -1,0 +1,234 @@
+#include "verify/corpus.hh"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "exec/sweep.hh"
+#include "stats/table.hh"
+
+namespace xui
+{
+
+namespace
+{
+
+/** Everything one (program, seed) job hands to the reduction. */
+struct PairJob
+{
+    CorpusPairOutcome outcome;
+    std::unique_ptr<MetricsRegistry> metrics;
+};
+
+/**
+ * The per-job metrics snapshot: fixed shape (every metric created
+ * whether or not it fires) so the merged JSON is structurally
+ * identical across runs and thread counts.
+ */
+std::unique_ptr<MetricsRegistry>
+makePairMetrics(const CorpusPairOutcome &o)
+{
+    auto reg = std::make_unique<MetricsRegistry>();
+    reg->counter("corpus.runs").inc();
+    Counter &det = reg->counter("corpus.determinism_fails");
+    if (!o.det.ok)
+        det.inc();
+    Counter &diff = reg->counter("corpus.differential_fails");
+    if (!o.diff.ok())
+        diff.inc();
+    reg->counter("corpus.deliveries.flush")
+        .inc(o.diff.flush.delivered);
+    reg->counter("corpus.deliveries.drain")
+        .inc(o.diff.drain.delivered);
+    reg->counter("corpus.deliveries.tracked")
+        .inc(o.diff.tracked.delivered);
+    LatencyRecorder &lf =
+        reg->latency("corpus.handler_start.flush");
+    LatencyRecorder &ld =
+        reg->latency("corpus.handler_start.drain");
+    LatencyRecorder &lt =
+        reg->latency("corpus.handler_start.tracked");
+    if (o.diff.flush.delivered > 0 && o.diff.drain.delivered > 0 &&
+        o.diff.tracked.delivered > 0) {
+        lf.record(std::llround(o.diff.flush.meanHandlerStartLatency));
+        ld.record(std::llround(o.diff.drain.meanHandlerStartLatency));
+        lt.record(
+            std::llround(o.diff.tracked.meanHandlerStartLatency));
+    }
+    return reg;
+}
+
+} // namespace
+
+ScenarioConfig
+corpusPairConfig(const CorpusOptions &opt, std::uint64_t program,
+                 std::uint64_t seed)
+{
+    ScenarioConfig cfg;
+    // Offset so program 0 differs from the suite's unit tests.
+    cfg.programSeed = 1000 + program;
+    cfg.systemSeed = 1 + seed;
+    cfg.program.deterministicControl = true;
+    cfg.program.withSafepoints = opt.safepoints;
+    cfg.safepointMode = opt.safepoints;
+    cfg.timerPeriod = usToCycles(opt.timerUs);
+    cfg.targetInsts = opt.insts;
+    return cfg;
+}
+
+CorpusSummary
+runVerifyCorpus(const CorpusOptions &opt,
+                const CorpusPairRunner &runner)
+{
+    CorpusPairRunner run_pair = runner;
+    if (!run_pair) {
+        run_pair = [](const ScenarioConfig &cfg) {
+            CorpusPairOutcome o;
+            o.det = checkDeterminism(cfg);
+            o.diff = runDifferential(cfg);
+            return o;
+        };
+    }
+
+    CorpusSummary sum;
+    sum.metrics = std::make_unique<MetricsRegistry>();
+    sum.metrics->counter("corpus.cross_seed_fails");
+
+    const std::size_t n =
+        static_cast<std::size_t>(opt.programs * opt.seeds);
+    // Job index i maps to program i / seeds, seed i % seeds, so the
+    // reduction walks the same (p, s) lexicographic order as the
+    // legacy serial loop.
+    ScenarioResult first_seed_tracked;
+    exec::sweepReduce(
+        n, opt.jobs,
+        [&](std::size_t i) {
+            const std::uint64_t p = i / opt.seeds;
+            const std::uint64_t s = i % opt.seeds;
+            PairJob job;
+            job.outcome = run_pair(corpusPairConfig(opt, p, s));
+            job.metrics = makePairMetrics(job.outcome);
+            return job;
+        },
+        [&](std::size_t i, PairJob &&job) {
+            const std::uint64_t program_seed = 1000 + i / opt.seeds;
+            const std::uint64_t system_seed = 1 + i % opt.seeds;
+            const std::uint64_t s = i % opt.seeds;
+            ++sum.runs;
+            sum.metrics->merge(*job.metrics);
+
+            const DeterminismReport &det = job.outcome.det;
+            if (!det.ok) {
+                ++sum.determinismFails;
+                sum.failures.push_back(
+                    "program " + std::to_string(program_seed) +
+                    " seed " + std::to_string(system_seed) + ": " +
+                    det.message);
+            }
+
+            DifferentialReport &diff = job.outcome.diff;
+            if (!diff.ok()) {
+                ++sum.differentialFails;
+                for (const std::string &v : diff.violations)
+                    sum.failures.push_back(
+                        "program " + std::to_string(program_seed) +
+                        " seed " + std::to_string(system_seed) +
+                        ": " + v);
+            }
+            if (diff.flush.delivered > 0 &&
+                diff.drain.delivered > 0 &&
+                diff.tracked.delivered > 0) {
+                sum.flushLat += diff.flush.meanHandlerStartLatency;
+                sum.drainLat += diff.drain.meanHandlerStartLatency;
+                sum.trackedLat +=
+                    diff.tracked.meanHandlerStartLatency;
+                ++sum.latSamples;
+            }
+
+            if (s == 0) {
+                first_seed_tracked = std::move(diff.tracked);
+            } else {
+                ArchEquivalenceReport eq = checkArchEquivalence(
+                    first_seed_tracked, diff.tracked, 1000);
+                if (!eq.ok) {
+                    ++sum.crossSeedFails;
+                    sum.metrics
+                        ->counter("corpus.cross_seed_fails")
+                        .inc();
+                    sum.failures.push_back(
+                        "program " + std::to_string(program_seed) +
+                        " seeds 1 vs " +
+                        std::to_string(system_seed) +
+                        " (tracked): " + eq.message);
+                }
+            }
+        });
+    return sum;
+}
+
+std::string
+renderCorpusSummary(const CorpusOptions &opt,
+                    const CorpusSummary &sum, bool quiet)
+{
+    std::ostringstream os;
+    TablePrinter t("xui_verify: " + std::to_string(opt.programs) +
+                   " programs x " + std::to_string(opt.seeds) +
+                   " seeds x 3 delivery modes");
+    t.setHeader({"Check", "Runs", "Failures"});
+    t.addRow({"determinism (double run)",
+              TablePrinter::integer(
+                  static_cast<std::int64_t>(sum.runs)),
+              TablePrinter::integer(static_cast<std::int64_t>(
+                  sum.determinismFails))});
+    t.addRow({"cross-mode differential",
+              TablePrinter::integer(
+                  static_cast<std::int64_t>(sum.runs)),
+              TablePrinter::integer(static_cast<std::int64_t>(
+                  sum.differentialFails))});
+    t.addRow({"cross-seed arch equivalence",
+              TablePrinter::integer(static_cast<std::int64_t>(
+                  opt.programs *
+                  (opt.seeds > 0 ? opt.seeds - 1 : 0))),
+              TablePrinter::integer(static_cast<std::int64_t>(
+                  sum.crossSeedFails))});
+    t.addRule();
+    if (sum.latSamples > 0) {
+        double n = static_cast<double>(sum.latSamples);
+        t.addRow({"mean handler-start latency (flush)",
+                  TablePrinter::num(sum.flushLat / n, 1), "cycles"});
+        t.addRow({"mean handler-start latency (drain)",
+                  TablePrinter::num(sum.drainLat / n, 1), "cycles"});
+        t.addRow({"mean handler-start latency (tracked)",
+                  TablePrinter::num(sum.trackedLat / n, 1),
+                  "cycles"});
+    }
+    t.print(os);
+
+    if (!sum.failures.empty()) {
+        os << "\nFailures:\n";
+        std::size_t shown = 0;
+        for (const std::string &f : sum.failures) {
+            os << "  " << f << '\n';
+            if (++shown >= 40 && !quiet) {
+                os << "  ... (" << sum.failures.size() - shown
+                   << " more)\n";
+                break;
+            }
+        }
+        os << "\nFAIL\n";
+    } else {
+        os << "\nPASS\n";
+    }
+    return os.str();
+}
+
+std::string
+corpusMetricsJson(const CorpusSummary &summary)
+{
+    std::ostringstream os;
+    if (summary.metrics)
+        summary.metrics->writeJson(os);
+    return os.str();
+}
+
+} // namespace xui

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <vector>
 
 #include "des/simulation.hh"
@@ -182,6 +183,7 @@ TEST(SimulationDeterminism, MakeRngStreamsReproducible)
 // surfacing as a silent result drift in the paper figures.
 // ---------------------------------------------------------------
 
+#include "exec/sweep.hh"
 #include "uarch/program.hh"
 #include "uarch/uarch_system.hh"
 #include "verify/digest_tracer.hh"
@@ -337,9 +339,18 @@ strategyName(DeliveryStrategy s)
 
 TEST(GoldenCorpus, DigestsPinnedAcrossSeedsAndModes)
 {
-    for (const CorpusGolden &g : kCorpusGoldens) {
-        ScenarioConfig cfg = corpusConfig(g.seed, g.strategy);
-        ScenarioResult r = runScenario(cfg);
+    // The 96-row corpus fans out across the src/exec sweep engine
+    // (fixed 4 workers): the goldens must hold when scenario runs
+    // share a process across threads, not just serially.
+    const std::size_t n = std::size(kCorpusGoldens);
+    std::vector<ScenarioResult> results = exec::sweep(
+        n, 4, [](std::size_t i) {
+            const CorpusGolden &g = kCorpusGoldens[i];
+            return runScenario(corpusConfig(g.seed, g.strategy));
+        });
+    for (std::size_t i = 0; i < n; ++i) {
+        const CorpusGolden &g = kCorpusGoldens[i];
+        const ScenarioResult &r = results[i];
         std::string at = "seed " + std::to_string(g.seed) + " " +
             strategyName(g.strategy);
         EXPECT_TRUE(r.ok()) << at << ": " << r.violations.front();
@@ -349,6 +360,39 @@ TEST(GoldenCorpus, DigestsPinnedAcrossSeedsAndModes)
         EXPECT_EQ(r.delivered, g.delivered) << at;
         EXPECT_EQ(r.committedInsts, g.committedInsts) << at;
         EXPECT_EQ(r.cycles, g.cycles) << at;
+    }
+}
+
+TEST(GoldenCorpus, ParallelSweepBitIdenticalToSerial)
+{
+    // A corpus slice swept serially (the legacy inline path) and at
+    // 8 workers must produce byte-identical ScenarioResult streams
+    // — the parallel engine's core contract.
+    std::vector<std::size_t> slice;
+    for (std::size_t i = 0; i < std::size(kCorpusGoldens); ++i)
+        if (kCorpusGoldens[i].seed <= 8)
+            slice.push_back(i);
+    auto runRow = [&](std::size_t k) {
+        const CorpusGolden &g = kCorpusGoldens[slice[k]];
+        return runScenario(corpusConfig(g.seed, g.strategy));
+    };
+    std::vector<ScenarioResult> serial =
+        exec::sweep(slice.size(), 1, runRow);
+    std::vector<ScenarioResult> parallel =
+        exec::sweep(slice.size(), 8, runRow);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t k = 0; k < slice.size(); ++k) {
+        const CorpusGolden &g = kCorpusGoldens[slice[k]];
+        std::string at = "seed " + std::to_string(g.seed) + " " +
+            strategyName(g.strategy);
+        EXPECT_EQ(serial[k].fullDigest, parallel[k].fullDigest)
+            << at;
+        EXPECT_EQ(serial[k].archDigest, parallel[k].archDigest)
+            << at;
+        EXPECT_EQ(serial[k].eventCount, parallel[k].eventCount)
+            << at;
+        EXPECT_EQ(serial[k].mainPcs, parallel[k].mainPcs) << at;
+        EXPECT_EQ(serial[k].cycles, parallel[k].cycles) << at;
     }
 }
 

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -156,6 +157,62 @@ TEST(MetricsRegistry, JsonSnapshotIsWellFormed)
     EXPECT_NE(json.find("\"counters\""), std::string::npos);
     EXPECT_NE(json.find("\"gauges\""), std::string::npos);
     EXPECT_NE(json.find("\"latencies\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, MergeCombinesPerJobRegistries)
+{
+    // Two per-job registries as produced by a parallel sweep, plus
+    // a metric unique to each side.
+    MetricsRegistry a;
+    a.counter("sweep.runs").inc(3);
+    a.counter("only.in.a").inc(1);
+    a.gauge("sweep.last_ratio").set(0.5);
+    a.latency("sweep.lat").record(100);
+    a.latency("sweep.lat").record(200);
+
+    MetricsRegistry b;
+    b.counter("sweep.runs").inc(4);
+    b.gauge("sweep.last_ratio").set(0.75);
+    b.latency("sweep.lat").record(300);
+    b.latency("only.in.b.lat").record(50);
+
+    MetricsRegistry total;
+    total.merge(a);
+    total.merge(b);
+
+    EXPECT_EQ(total.findCounter("sweep.runs")->value(), 7u);
+    EXPECT_EQ(total.findCounter("only.in.a")->value(), 1u);
+    // Gauges are last-merge-wins.
+    EXPECT_DOUBLE_EQ(total.findGauge("sweep.last_ratio")->value(),
+                     0.75);
+    const Histogram &h = total.findLatency("sweep.lat")->hist();
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 600.0);
+    EXPECT_EQ(total.findLatency("only.in.b.lat")->hist().count(),
+              1u);
+}
+
+TEST(MetricsRegistry, MergeOrderIndependentForFixedShape)
+{
+    // Sweep jobs emit a fixed metric shape; merging job registries
+    // in 0..n-1 order must be reproducible — equal JSON snapshots
+    // from two identically-ordered merges.
+    auto job = [](std::uint64_t i) {
+        auto r = std::make_unique<MetricsRegistry>();
+        r->counter("j.runs").inc(1);
+        r->latency("j.lat").record(10 * (i + 1));
+        return r;
+    };
+    MetricsRegistry m1, m2;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        auto r = job(i);
+        m1.merge(*r);
+        m2.merge(*r);
+    }
+    std::ostringstream s1, s2;
+    m1.writeJson(s1);
+    m2.writeJson(s2);
+    EXPECT_EQ(s1.str(), s2.str());
 }
 
 // ----------------------------------------------------------------------
@@ -383,6 +440,40 @@ TEST(BenchArgs, KnownFlagsParse)
     EXPECT_EQ(o.seed, 9u);
     EXPECT_EQ(o.metricsJson, "m.json");
     EXPECT_EQ(o.traceJson, "t.json");
+    EXPECT_EQ(o.jobs, 0u) << "--jobs unset must default to auto";
+}
+
+TEST(BenchArgs, JobsFlagParses)
+{
+    EXPECT_EQ(parse({"--jobs", "1"}).jobs, 1u);
+    EXPECT_EQ(parse({"--jobs", "8"}).jobs, 8u);
+}
+
+TEST(BenchArgsDeathTest, JobsZeroExitsTwo)
+{
+    EXPECT_EXIT(parse({"--jobs", "0"}),
+                ::testing::ExitedWithCode(2),
+                "--jobs needs an integer >= 1, got '0'");
+}
+
+TEST(BenchArgsDeathTest, JobsGarbageExitsTwo)
+{
+    EXPECT_EXIT(parse({"--jobs", "fast"}),
+                ::testing::ExitedWithCode(2),
+                "--jobs needs an integer >= 1, got 'fast'");
+    EXPECT_EXIT(parse({"--jobs", "-2"}),
+                ::testing::ExitedWithCode(2),
+                "--jobs needs an integer >= 1, got '-2'");
+    EXPECT_EXIT(parse({"--jobs", "4x"}),
+                ::testing::ExitedWithCode(2),
+                "--jobs needs an integer >= 1, got '4x'");
+}
+
+TEST(BenchArgsDeathTest, JobsMissingValueExitsTwo)
+{
+    EXPECT_EXIT(parse({"--jobs"}),
+                ::testing::ExitedWithCode(2),
+                "--jobs needs a value");
 }
 
 TEST(BenchArgsDeathTest, UnknownArgumentExitsTwo)

@@ -26,9 +26,15 @@
  * instrumented scenario's metrics snapshot and Chrome trace (load at
  * https://ui.perfetto.dev) alongside whatever else the run does.
  *
+ * Parallelism: --jobs N fans the (program, seed) grid out across N
+ * worker threads (src/exec sweep engine; 0/unset = one per hardware
+ * thread, 1 = the legacy serial path). Every job owns its own
+ * simulated system, so the summary — counts, latency means, failure
+ * list and its order — is bit-identical for every N.
+ *
  * Usage:
  *   xui_verify [--programs N] [--seeds K] [--insts M]
- *              [--timer-us U] [--safepoints] [--quiet]
+ *              [--timer-us U] [--safepoints] [--quiet] [--jobs N]
  *              [--record FILE | --replay FILE]
  *              [--record-seed S]
  *              [--metrics-json FILE] [--trace-json FILE]
@@ -42,10 +48,10 @@
 #include <string>
 #include <vector>
 
+#include "exec/sweep.hh"
 #include "obs/session.hh"
 #include "obs/trace_export.hh"
-#include "stats/table.hh"
-#include "verify/differential.hh"
+#include "verify/corpus.hh"
 #include "verify/scenario.hh"
 
 using namespace xui;
@@ -66,6 +72,8 @@ struct Options
     std::uint64_t recordSeed = 1;
     std::string metricsJson;
     std::string traceJson;
+    /** Sweep worker threads (0 = one per hardware thread). */
+    unsigned jobs = 0;
 };
 
 void
@@ -74,7 +82,7 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--programs N] [--seeds K] [--insts M] [--timer-us U]\n"
-        << "       [--safepoints] [--quiet]\n"
+        << "       [--safepoints] [--quiet] [--jobs N]\n"
         << "       [--record FILE | --replay FILE] "
         << "[--record-seed S]\n"
         << "       [--metrics-json FILE] [--trace-json FILE]\n";
@@ -140,6 +148,16 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.traceJson = v;
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            const char *v = need("--jobs");
+            if (!v)
+                return false;
+            if (!exec::parseJobs(v, opt.jobs)) {
+                std::cerr << "--jobs needs an integer >= 1, got '"
+                          << v << "'\n";
+                usage(argv[0]);
+                return false;
+            }
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             usage(argv[0]);
@@ -238,121 +256,17 @@ main(int argc, char **argv)
 
     const int obs_rc = exportObservability(opt);
 
-    std::uint64_t runs = 0;
-    std::uint64_t determinismFails = 0;
-    std::uint64_t differentialFails = 0;
-    std::uint64_t crossSeedFails = 0;
-    std::vector<std::string> failures;
+    CorpusOptions copt;
+    copt.programs = opt.programs;
+    copt.seeds = opt.seeds;
+    copt.insts = opt.insts;
+    copt.timerUs = opt.timerUs;
+    copt.safepoints = opt.safepoints;
+    copt.jobs = opt.jobs;
 
-    double flushLat = 0, drainLat = 0, trackedLat = 0;
-    std::uint64_t latSamples = 0;
-
-    for (std::uint64_t p = 0; p < opt.programs; ++p) {
-        // Offset so program 0 differs from the suite's unit tests.
-        std::uint64_t program_seed = 1000 + p;
-        ScenarioResult firstSeedTracked;
-        for (std::uint64_t s = 0; s < opt.seeds; ++s) {
-            std::uint64_t system_seed = 1 + s;
-            ScenarioConfig cfg;
-            cfg.programSeed = program_seed;
-            cfg.systemSeed = system_seed;
-            cfg.program.deterministicControl = true;
-            cfg.program.withSafepoints = opt.safepoints;
-            cfg.safepointMode = opt.safepoints;
-            cfg.timerPeriod = usToCycles(opt.timerUs);
-            cfg.targetInsts = opt.insts;
-            ++runs;
-
-            DeterminismReport det = checkDeterminism(cfg);
-            if (!det.ok) {
-                ++determinismFails;
-                failures.push_back(
-                    "program " + std::to_string(program_seed) +
-                    " seed " + std::to_string(system_seed) + ": " +
-                    det.message);
-            }
-
-            DifferentialReport diff = runDifferential(cfg);
-            if (!diff.ok()) {
-                ++differentialFails;
-                for (const std::string &v : diff.violations)
-                    failures.push_back(
-                        "program " + std::to_string(program_seed) +
-                        " seed " + std::to_string(system_seed) +
-                        ": " + v);
-            }
-            if (diff.flush.delivered > 0 &&
-                diff.drain.delivered > 0 &&
-                diff.tracked.delivered > 0) {
-                flushLat += diff.flush.meanHandlerStartLatency;
-                drainLat += diff.drain.meanHandlerStartLatency;
-                trackedLat += diff.tracked.meanHandlerStartLatency;
-                ++latSamples;
-            }
-
-            if (s == 0) {
-                firstSeedTracked = std::move(diff.tracked);
-            } else {
-                ArchEquivalenceReport eq = checkArchEquivalence(
-                    firstSeedTracked, diff.tracked, 1000);
-                if (!eq.ok) {
-                    ++crossSeedFails;
-                    failures.push_back(
-                        "program " + std::to_string(program_seed) +
-                        " seeds 1 vs " +
-                        std::to_string(system_seed) +
-                        " (tracked): " + eq.message);
-                }
-            }
-        }
-    }
-
-    TablePrinter t("xui_verify: " + std::to_string(opt.programs) +
-                   " programs x " + std::to_string(opt.seeds) +
-                   " seeds x 3 delivery modes");
-    t.setHeader({"Check", "Runs", "Failures"});
-    t.addRow({"determinism (double run)",
-              TablePrinter::integer(
-                  static_cast<std::int64_t>(runs)),
-              TablePrinter::integer(
-                  static_cast<std::int64_t>(determinismFails))});
-    t.addRow({"cross-mode differential",
-              TablePrinter::integer(
-                  static_cast<std::int64_t>(runs)),
-              TablePrinter::integer(
-                  static_cast<std::int64_t>(differentialFails))});
-    t.addRow({"cross-seed arch equivalence",
-              TablePrinter::integer(static_cast<std::int64_t>(
-                  opt.programs *
-                  (opt.seeds > 0 ? opt.seeds - 1 : 0))),
-              TablePrinter::integer(
-                  static_cast<std::int64_t>(crossSeedFails))});
-    t.addRule();
-    if (latSamples > 0) {
-        double n = static_cast<double>(latSamples);
-        t.addRow({"mean handler-start latency (flush)",
-                  TablePrinter::num(flushLat / n, 1), "cycles"});
-        t.addRow({"mean handler-start latency (drain)",
-                  TablePrinter::num(drainLat / n, 1), "cycles"});
-        t.addRow({"mean handler-start latency (tracked)",
-                  TablePrinter::num(trackedLat / n, 1), "cycles"});
-    }
-    t.print(std::cout);
-
-    if (!failures.empty()) {
-        std::cout << "\nFailures:\n";
-        std::size_t shown = 0;
-        for (const std::string &f : failures) {
-            std::cout << "  " << f << '\n';
-            if (++shown >= 40 && !opt.quiet) {
-                std::cout << "  ... (" << failures.size() - shown
-                          << " more)\n";
-                break;
-            }
-        }
-        std::cout << "\nFAIL\n";
+    CorpusSummary sum = runVerifyCorpus(copt);
+    std::cout << renderCorpusSummary(copt, sum, opt.quiet);
+    if (!sum.ok())
         return 1;
-    }
-    std::cout << "\nPASS\n";
     return obs_rc;
 }
