@@ -31,14 +31,16 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
-    std::size_t target;
+    // The push and the notify must happen under mu_: a worker checks
+    // anyQueued() under mu_ and atomically blocks on wake_ releasing
+    // it, so publishing the task while holding mu_ guarantees every
+    // worker that saw empty queues is already blocked when the
+    // notification fires (no lost wakeup).
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t target = nextQueue_++ % queues_.size();
+    ++pending_;
     {
-        std::lock_guard<std::mutex> lk(mu_);
-        target = nextQueue_++ % queues_.size();
-        ++pending_;
-    }
-    {
-        std::lock_guard<std::mutex> lk(queues_[target]->mu);
+        std::lock_guard<std::mutex> qlk(queues_[target]->mu);
         queues_[target]->tasks.push_back(std::move(task));
     }
     wake_.notify_one();
