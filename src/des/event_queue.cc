@@ -351,32 +351,51 @@ EventQueue::runOne()
     return true;
 }
 
+Cycles
+EventQueue::peekNextTime()
+{
+    if (scratchWhen_ == now_) {
+        while (scratchPos_ < scratch_.size()) {
+            const ScratchRef &r = scratch_[scratchPos_];
+            const Event &e = pool_[r.idx];
+            if (e.gen == r.gen && e.level != kUnlinked &&
+                e.when == now_)
+                break;
+            ++scratchPos_;
+        }
+        if (scratchPos_ < scratch_.size() ||
+            heads_[0][now_ & kBucketMask] != kNil)
+            return now_;
+        scratchWhen_ = kNoEvent;
+    }
+    return nextEventTime();
+}
+
+std::vector<EventQueue::PendingEvent>
+EventQueue::pendingSnapshot(std::size_t max) const
+{
+    std::vector<PendingEvent> out;
+    out.reserve(live_);
+    for (const Event &e : pool_) {
+        if (e.level != kUnlinked)
+            out.push_back(PendingEvent{e.when, e.seq});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PendingEvent &a, const PendingEvent &b) {
+                  return a.when != b.when ? a.when < b.when
+                                          : a.seq < b.seq;
+              });
+    if (max != 0 && out.size() > max)
+        out.resize(max);
+    return out;
+}
+
 std::uint64_t
 EventQueue::runUntil(Cycles limit)
 {
     std::uint64_t executed = 0;
     for (;;) {
-        // Peek the exact next fire time without firing.
-        Cycles w;
-        if (scratchWhen_ == now_) {
-            while (scratchPos_ < scratch_.size()) {
-                const ScratchRef &r = scratch_[scratchPos_];
-                const Event &e = pool_[r.idx];
-                if (e.gen == r.gen && e.level != kUnlinked &&
-                    e.when == now_)
-                    break;
-                ++scratchPos_;
-            }
-            if (scratchPos_ < scratch_.size() ||
-                heads_[0][now_ & kBucketMask] != kNil) {
-                w = now_;
-            } else {
-                scratchWhen_ = kNoEvent;
-                w = nextEventTime();
-            }
-        } else {
-            w = nextEventTime();
-        }
+        Cycles w = peekNextTime();
         if (w == kNoEvent || w > limit)
             break;
         if (!runOne())

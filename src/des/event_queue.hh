@@ -216,6 +216,33 @@ class EventQueue
     /** Total events fired since construction. */
     std::uint64_t firedCount() const { return fired_; }
 
+    /** Sentinel returned by peekNextTime() when nothing is pending. */
+    static constexpr Cycles kNoPending = ~Cycles(0);
+
+    /**
+     * Exact fire time of the next pending event without firing it
+     * (kNoPending when the queue is empty). Non-const: maintains the
+     * overflow-min cache and prunes cancelled entries from the
+     * active same-cycle drain list, neither of which is observable
+     * through the firing order.
+     */
+    Cycles peekNextTime();
+
+    /** One pending event, as seen by diagnostics. */
+    struct PendingEvent
+    {
+        Cycles when;
+        std::uint64_t seq;
+    };
+
+    /**
+     * Snapshot of pending events sorted by (when, seq), truncated to
+     * `max` entries (0 = all). O(pool) — diagnostics only (watchdog
+     * hang reports), never a hot path.
+     */
+    std::vector<PendingEvent> pendingSnapshot(std::size_t max = 0)
+        const;
+
     /**
      * Pop and run the next event.
      * @return false when the queue is empty.

@@ -1,0 +1,438 @@
+#include "fault/chaos.hh"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "des/simulation.hh"
+#include "exec/sweep.hh"
+#include "fault/invariants.hh"
+#include "fault/watchdog.hh"
+#include "obs/metrics.hh"
+#include "os/kernel.hh"
+#include "runtime/sender.hh"
+#include "stats/rng.hh"
+
+namespace xui::chaos
+{
+
+namespace
+{
+
+const char *const kScenarioNames[kNumScenarios] = {
+    "uipi_pingpong",
+    "kbtimer_periodic",
+    "forwarding_storm",
+    "sender_retry",
+    "interval_signals",
+};
+
+std::uint64_t
+splitmix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Everything a scenario's event lambdas reach into. */
+struct Cell
+{
+    const CellConfig &cfg;
+    Simulation sim;
+    CostModel costs;
+    Kernel kernel;
+    fault::Injector inj;
+    fault::DeliveryLedger ledger;
+    MetricsRegistry metrics;
+    Rng rng;
+
+    /** Threads to quiesce in the final drain. */
+    std::vector<ThreadId> threads;
+    std::uint64_t handlerRuns = 0;
+
+    // Sources the drain phase must stop first.
+    std::unique_ptr<PeriodicEvent> poll;
+    std::vector<int> intervalIds;
+    std::unique_ptr<ReliableSender> sender;
+
+    explicit Cell(const CellConfig &c)
+        : cfg(c), sim(c.seed), kernel(sim, costs, 2),
+          inj(c.schedule),
+          rng(splitmix(c.seed ^
+                       (static_cast<std::uint64_t>(c.kind) + 1)))
+    {
+        kernel.attachMetrics(metrics);
+        inj.attachMetrics(metrics);
+        kernel.setFaultInjector(&inj);
+        kernel.setDeliveryLedger(&ledger);
+        kernel.setRecoveryEnabled(c.recovery);
+    }
+
+    ThreadId makeReceiver(CoreId core)
+    {
+        ThreadId t = kernel.createThread();
+        kernel.registerHandler(t,
+                               [this](unsigned) { ++handlerRuns; });
+        kernel.scheduleOn(t, core);
+        threads.push_back(t);
+        return t;
+    }
+
+    /**
+     * Fault-driven deschedule window: Site::Deschedule consult; a
+     * Delay directive closes the receiver for `magnitude` cycles.
+     * The resume is always scheduled, so windows end.
+     */
+    void maybeFaultWindow(ThreadId tid, CoreId core)
+    {
+        auto d = inj.decide(fault::Site::Deschedule);
+        if (d.action != fault::Action::Delay || d.magnitude == 0)
+            return;
+        openWindow(tid, core, d.magnitude);
+    }
+
+    void openWindow(ThreadId tid, CoreId core, Cycles len)
+    {
+        if (!kernel.isRunning(tid))
+            return;
+        kernel.deschedule(tid);
+        sim.queue().scheduleAfter(len, [this, tid, core] {
+            if (!kernel.isRunning(tid))
+                kernel.scheduleOn(tid, core);
+        });
+    }
+
+    void stopSources()
+    {
+        if (poll)
+            poll->stop();
+        for (int id : intervalIds)
+            kernel.cancelInterval(id);
+    }
+
+    /** Reschedule everyone once so parked vectors drain. */
+    void finalDrain()
+    {
+        for (ThreadId t : threads)
+            if (kernel.isRunning(t))
+                kernel.deschedule(t);
+        for (ThreadId t : threads) {
+            kernel.scheduleOn(t, 0);
+            kernel.deschedule(t);
+        }
+    }
+};
+
+/** Draw `n` event times in [1, span], sorted by construction order
+ *  (the queue orders same-cycle events by schedule order anyway). */
+std::vector<Cycles>
+drawTimes(Rng &rng, unsigned n, Cycles span)
+{
+    std::vector<Cycles> times(n);
+    for (auto &t : times)
+        t = 1 + rng.nextBounded(span);
+    return times;
+}
+
+void
+buildUipiPingPong(Cell &c)
+{
+    ThreadId recv = c.makeReceiver(1);
+    int idx = c.kernel.registerSender(
+        recv, static_cast<std::uint8_t>(1 + c.rng.nextBounded(3)));
+    assert(idx >= 0);
+
+    // Baseline deschedule windows independent of the fault schedule,
+    // so the SN/repost slow path is exercised in every cell.
+    for (Cycles t : drawTimes(c.rng, 4, c.cfg.horizon * 3 / 4)) {
+        Cycles len = 200 + c.rng.nextBounded(1800);
+        c.sim.queue().scheduleAt(t, [&c, recv, len] {
+            c.openWindow(recv, 1, len);
+        });
+    }
+    for (Cycles t : drawTimes(c.rng, 48, c.cfg.horizon * 3 / 4)) {
+        c.sim.queue().scheduleAt(t, [&c, recv, idx] {
+            c.maybeFaultWindow(recv, 1);
+            c.kernel.senduipi(idx);
+        });
+    }
+}
+
+void
+buildKbTimerPeriodic(Cell &c)
+{
+    ThreadId t = c.makeReceiver(0);
+    c.kernel.enableKbTimer(t, 33);
+    Cycles period = 400 + c.rng.nextBounded(1600);
+    c.kernel.setTimer(t, period, KbTimerMode::Periodic);
+
+    for (Cycles w : drawTimes(c.rng, 4, c.cfg.horizon * 3 / 4)) {
+        Cycles len = 200 + c.rng.nextBounded(2200);
+        c.sim.queue().scheduleAt(w, [&c, t, len] {
+            c.openWindow(t, 0, len);
+        });
+    }
+
+    Cycles tick = period / 4 < 64 ? 64 : period / 4;
+    c.poll = std::make_unique<PeriodicEvent>(
+        c.sim.queue(), tick, [&c, t] {
+            c.maybeFaultWindow(t, 0);
+            c.kernel.pollKbTimer(0, c.sim.now());
+            return true;
+        });
+    c.poll->startAfterPeriod();
+}
+
+void
+buildForwardingStorm(Cell &c)
+{
+    ThreadId t = c.makeReceiver(0);
+    int vec = c.kernel.registerForwarding(t, 0);
+    assert(vec >= 0);
+
+    for (Cycles w : drawTimes(c.rng, 5, c.cfg.horizon * 3 / 4)) {
+        Cycles len = 200 + c.rng.nextBounded(1800);
+        c.sim.queue().scheduleAt(w, [&c, t, len] {
+            c.openWindow(t, 0, len);
+        });
+    }
+    for (Cycles w : drawTimes(c.rng, 48, c.cfg.horizon * 3 / 4)) {
+        c.sim.queue().scheduleAt(w, [&c, t, vec] {
+            c.maybeFaultWindow(t, 0);
+            c.kernel.deviceInterrupt(
+                0, static_cast<unsigned>(vec));
+        });
+    }
+}
+
+void
+buildSenderRetry(Cell &c)
+{
+    ThreadId recv = c.makeReceiver(1);
+    int idx = c.kernel.registerSender(recv, 2);
+    assert(idx >= 0);
+    ReliableSender::Options opts;
+    opts.maxAttempts = 4;
+    opts.backoff = 32 + c.rng.nextBounded(97);
+    c.sender = std::make_unique<ReliableSender>(c.sim, c.kernel,
+                                               idx, opts);
+    c.sender->attachMetrics(c.metrics);
+
+    // Aggressive windows: half the sends race a closed receiver, so
+    // the retry loop (not just the resume drain) earns its keep.
+    std::vector<Cycles> sends =
+        drawTimes(c.rng, 32, c.cfg.horizon * 3 / 4);
+    for (Cycles w : sends) {
+        bool closed = c.rng.nextBool(0.5);
+        Cycles len = 100 + c.rng.nextBounded(1400);
+        c.sim.queue().scheduleAt(w, [&c, recv, closed, len] {
+            c.maybeFaultWindow(recv, 1);
+            if (closed)
+                c.openWindow(recv, 1, len);
+            c.sender->send();
+        });
+    }
+}
+
+void
+buildIntervalSignals(Cell &c)
+{
+    ThreadId t = c.makeReceiver(0);
+    Cycles interval = 800 + c.rng.nextBounded(1200);
+    int id = c.kernel.setInterval(t, interval, 14);
+    assert(id >= 0);
+    c.intervalIds.push_back(id);
+
+    for (Cycles w : drawTimes(c.rng, 6, c.cfg.horizon * 3 / 4)) {
+        Cycles len = 400 + c.rng.nextBounded(2600);
+        c.sim.queue().scheduleAt(w, [&c, t, len] {
+            c.maybeFaultWindow(t, 0);
+            c.openWindow(t, 0, len);
+        });
+    }
+}
+
+void
+buildScenario(Cell &c)
+{
+    switch (c.cfg.kind) {
+      case ScenarioKind::UipiPingPong:
+        buildUipiPingPong(c);
+        return;
+      case ScenarioKind::KbTimerPeriodic:
+        buildKbTimerPeriodic(c);
+        return;
+      case ScenarioKind::ForwardingStorm:
+        buildForwardingStorm(c);
+        return;
+      case ScenarioKind::SenderRetry:
+        buildSenderRetry(c);
+        return;
+      case ScenarioKind::IntervalSignals:
+        buildIntervalSignals(c);
+        return;
+      case ScenarioKind::kCount:
+        break;
+    }
+    assert(false && "unknown scenario kind");
+}
+
+std::uint64_t
+counterValue(const MetricsRegistry &m, const char *name)
+{
+    const Counter *c = m.findCounter(name);
+    return c != nullptr ? c->value() : 0;
+}
+
+} // namespace
+
+const char *
+scenarioName(ScenarioKind k)
+{
+    auto i = static_cast<std::size_t>(k);
+    return i < kNumScenarios ? kScenarioNames[i] : "?";
+}
+
+bool
+parseScenario(const std::string &text, ScenarioKind &out)
+{
+    for (std::size_t i = 0; i < kNumScenarios; ++i) {
+        if (text == kScenarioNames[i]) {
+            out = static_cast<ScenarioKind>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+cellScheduleSeed(ScenarioKind kind, std::uint64_t seed)
+{
+    return splitmix(seed * 0x100000001b3ull +
+                    static_cast<std::uint64_t>(kind));
+}
+
+CellResult
+runCell(const CellConfig &cfg)
+{
+    CellResult res;
+    Cell cell(cfg);
+    buildScenario(cell);
+
+    fault::Watchdog dog(cell.sim.queue(), cfg.eventBudget);
+    try {
+        dog.runUntil(cfg.horizon);
+        cell.stopSources();
+        // Drain in-flight delayed faults and recovery rescans; the
+        // sources are stopped, so the queue empties (the watchdog
+        // budget still guards against a runaway reschedule loop).
+        for (;;) {
+            Cycles next = cell.sim.queue().peekNextTime();
+            if (next == EventQueue::kNoPending)
+                break;
+            dog.runUntil(next);
+        }
+        if (cfg.finalDrain)
+            cell.finalDrain();
+    } catch (const fault::StuckSimulation &e) {
+        res.stuck = true;
+        res.violations.push_back(e.what());
+    }
+
+    for (auto &v : cell.ledger.check())
+        res.violations.push_back(std::move(v));
+    res.posted = cell.ledger.posted();
+    res.delivered = cell.ledger.delivered();
+    res.abandoned = cell.ledger.abandoned();
+    res.spuriousScans = cell.ledger.spuriousScans();
+    res.injected = cell.inj.injected();
+    res.handlerRuns = cell.handlerRuns;
+    res.recoveredRescan =
+        counterValue(cell.metrics, "kernel.recovery.upid_rescan");
+    res.recoveredTimerLate =
+        counterValue(cell.metrics, "kernel.recovery.kbtimer_late");
+    res.recoveredFwdParked =
+        counterValue(cell.metrics, "kernel.recovery.forward_parked");
+    if (cell.sender) {
+        res.senderRetries = cell.sender->stats().retries;
+        res.senderFallbacks = cell.sender->stats().fallbacks;
+    }
+    res.passed = res.violations.empty();
+    return res;
+}
+
+fault::Schedule
+shrink(const CellConfig &failing)
+{
+    fault::Schedule cur = failing.schedule;
+    bool improved = true;
+    while (improved && !cur.directives.empty()) {
+        improved = false;
+        for (std::size_t i = 0; i < cur.directives.size(); ++i) {
+            fault::Schedule cand = cur;
+            cand.directives.erase(cand.directives.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+            CellConfig probe = failing;
+            probe.schedule = cand;
+            if (!runCell(probe).passed) {
+                cur = std::move(cand);
+                improved = true;
+                break;
+            }
+        }
+    }
+    return cur;
+}
+
+GridOutcome
+runGrid(const GridConfig &cfg)
+{
+    std::vector<ScenarioKind> kinds = cfg.kinds;
+    if (kinds.empty()) {
+        for (std::size_t i = 0; i < kNumScenarios; ++i)
+            kinds.push_back(static_cast<ScenarioKind>(i));
+    }
+
+    const std::size_t n =
+        kinds.size() * static_cast<std::size_t>(cfg.seeds);
+    GridOutcome out;
+    out.cells = n;
+
+    exec::sweepReduce(
+        n, cfg.jobs,
+        [&](std::size_t i) {
+            CellReport rep;
+            rep.kind = kinds[i / cfg.seeds];
+            rep.seed = cfg.seedBase + i % cfg.seeds;
+            CellConfig cc;
+            cc.kind = rep.kind;
+            cc.seed = rep.seed;
+            cc.schedule = fault::generateSchedule(
+                cellScheduleSeed(rep.kind, rep.seed), cfg.schedule);
+            cc.recovery = cfg.recovery;
+            cc.finalDrain = cfg.finalDrain;
+            cc.horizon = cfg.horizon;
+            cc.eventBudget = cfg.eventBudget;
+            rep.schedule = cc.schedule;
+            rep.result = runCell(cc);
+            rep.shrunk = rep.schedule;
+            if (!rep.result.passed && cfg.shrinkFailures)
+                rep.shrunk = shrink(cc);
+            return rep;
+        },
+        [&](std::size_t, CellReport &&rep) {
+            out.injected += rep.result.injected;
+            out.posted += rep.result.posted;
+            out.delivered += rep.result.delivered;
+            out.abandoned += rep.result.abandoned;
+            if (!rep.result.passed) {
+                ++out.failed;
+                out.failures.push_back(std::move(rep));
+            }
+        });
+    return out;
+}
+
+} // namespace xui::chaos

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Chaos harness: seeded protocol scenarios, the (scenario x
+ * fault-seed) grid, and greedy schedule shrinking.
+ *
+ * A *cell* is one deterministic run: a scenario (a small DES-tier
+ * workload exercising one notification protocol end to end) plus a
+ * fault schedule, executed under a watchdog with a DeliveryLedger
+ * attached. The cell passes when the run terminates within its event
+ * budget and every delivery invariant holds. Because a cell is a
+ * pure function of (kind, seed, schedule, flags), a failing cell
+ * replays bit-for-bit from its command line, and its schedule can be
+ * shrunk greedily to a 1-minimal reproducer: repeatedly drop any
+ * directive whose removal keeps the cell failing.
+ *
+ * The *grid* fans (kind x seed) cells across threads with
+ * exec::sweepReduce, so results and report order are bit-identical
+ * for every --jobs value.
+ */
+
+#ifndef XUI_FAULT_CHAOS_HH
+#define XUI_FAULT_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "des/time.hh"
+#include "fault/fault.hh"
+
+namespace xui::chaos
+{
+
+/** The protocol workload a cell runs. */
+enum class ScenarioKind : std::uint8_t
+{
+    /** senduipi stream into a receiver with deschedule windows. */
+    UipiPingPong,
+    /** Periodic KB timer + poll loop across context switches. */
+    KbTimerPeriodic,
+    /** Forwarded device interrupts, fast path vs DUPID parking. */
+    ForwardingStorm,
+    /** ReliableSender retry/backoff against a flaky receiver. */
+    SenderRetry,
+    /** setitimer signals with SIGALRM collapse semantics. */
+    IntervalSignals,
+    kCount,
+};
+
+constexpr std::size_t kNumScenarios =
+    static_cast<std::size_t>(ScenarioKind::kCount);
+
+const char *scenarioName(ScenarioKind k);
+
+/** @return false when `text` names no scenario (`out` untouched). */
+bool parseScenario(const std::string &text, ScenarioKind &out);
+
+/** One cell of the chaos grid. */
+struct CellConfig
+{
+    ScenarioKind kind = ScenarioKind::UipiPingPong;
+    /** Scenario seed: drives send times and deschedule windows. */
+    std::uint64_t seed = 1;
+    fault::Schedule schedule;
+    /** Kernel graceful-degradation paths (rescan w/ backoff). */
+    bool recovery = true;
+    /**
+     * After the horizon, reschedule every thread once so parked
+     * vectors drain (models an OS that eventually runs everyone).
+     * Disabling it models a receiver that never resumes — the way
+     * to demonstrate that the invariants catch unrecovered loss.
+     */
+    bool finalDrain = true;
+    /** Scenario activity stops at this cycle. */
+    Cycles horizon = 200000;
+    /** Watchdog event budget (hang -> StuckSimulation). */
+    std::uint64_t eventBudget = 2000000;
+};
+
+/** What one cell run produced. */
+struct CellResult
+{
+    bool passed = false;
+    /** The watchdog fired (violations[0] carries the message). */
+    bool stuck = false;
+    std::vector<std::string> violations;
+
+    // Ledger totals.
+    std::uint64_t posted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t abandoned = 0;
+    std::uint64_t spuriousScans = 0;
+
+    /** Fault directives that matched a consult. */
+    std::uint64_t injected = 0;
+    /** Scenario handler invocations. */
+    std::uint64_t handlerRuns = 0;
+
+    // Recovery-path counters (kernel.recovery.*).
+    std::uint64_t recoveredRescan = 0;
+    std::uint64_t recoveredTimerLate = 0;
+    std::uint64_t recoveredFwdParked = 0;
+
+    // SenderRetry only.
+    std::uint64_t senderRetries = 0;
+    std::uint64_t senderFallbacks = 0;
+};
+
+/** Deterministic schedule seed for a (kind, scenario-seed) cell. */
+std::uint64_t cellScheduleSeed(ScenarioKind kind, std::uint64_t seed);
+
+/** Run one cell (pure function of its config). */
+CellResult runCell(const CellConfig &cfg);
+
+/**
+ * Greedy 1-minimal shrink of a failing cell's schedule: repeatedly
+ * remove any directive whose removal keeps the cell failing.
+ * @pre runCell(failing) fails.
+ * @return the minimal still-failing schedule.
+ */
+fault::Schedule shrink(const CellConfig &failing);
+
+/** The full (kind x seed) grid. */
+struct GridConfig
+{
+    /** Scenario kinds to run (empty = all). */
+    std::vector<ScenarioKind> kinds;
+    unsigned seeds = 40;
+    std::uint64_t seedBase = 1;
+    /** Fan-out width (0 = one per hardware thread). */
+    unsigned jobs = 1;
+    fault::ScheduleOptions schedule;
+    bool recovery = true;
+    bool finalDrain = true;
+    bool shrinkFailures = true;
+    Cycles horizon = 200000;
+    std::uint64_t eventBudget = 2000000;
+};
+
+/** One grid cell's report (failures keep their shrunk schedule). */
+struct CellReport
+{
+    ScenarioKind kind = ScenarioKind::UipiPingPong;
+    std::uint64_t seed = 0;
+    fault::Schedule schedule;
+    /** Equal to `schedule` for passing cells. */
+    fault::Schedule shrunk;
+    CellResult result;
+};
+
+struct GridOutcome
+{
+    std::uint64_t cells = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t posted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t abandoned = 0;
+    /** Reports for failing cells only, in job-index order. */
+    std::vector<CellReport> failures;
+};
+
+/** Run the grid (deterministic for every `jobs` value). */
+GridOutcome runGrid(const GridConfig &cfg);
+
+} // namespace xui::chaos
+
+#endif // XUI_FAULT_CHAOS_HH

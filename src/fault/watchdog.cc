@@ -1,0 +1,42 @@
+#include "fault/watchdog.hh"
+
+#include <sstream>
+
+namespace xui::fault
+{
+
+std::uint64_t
+Watchdog::runUntil(Cycles limit)
+{
+    std::uint64_t executed = 0;
+    for (;;) {
+        Cycles w = queue_.peekNextTime();
+        if (w == EventQueue::kNoPending || w > limit)
+            break;
+        if (eventsRun_ >= maxEvents_) {
+            constexpr std::size_t kSnapshot = 8;
+            auto pending = queue_.pendingSnapshot(kSnapshot);
+            std::ostringstream msg;
+            msg << "StuckSimulation: event budget of " << maxEvents_
+                << " exhausted at cycle " << queue_.now() << " ("
+                << queue_.pending() << " events still pending";
+            if (!pending.empty()) {
+                msg << "; next:";
+                for (const auto &p : pending)
+                    msg << " @" << p.when << "#" << p.seq;
+            }
+            msg << ")";
+            throw StuckSimulation(msg.str(), queue_.now(),
+                                  queue_.firedCount(),
+                                  queue_.pending(),
+                                  std::move(pending));
+        }
+        if (!queue_.runOne())
+            break;
+        ++executed;
+        ++eventsRun_;
+    }
+    return executed;
+}
+
+} // namespace xui::fault

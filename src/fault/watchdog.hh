@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulation watchdog: converts hangs into diagnosable errors.
+ *
+ * A fault-injected run can hang in two ways: runaway event churn
+ * (recovery events rescheduling each other forever) or a silent
+ * stall (the queue drains while the workload is incomplete — the
+ * latter surfaces as a DeliveryLedger violation, not here). The
+ * watchdog guards the first kind: it drives the queue like
+ * runUntil() but aborts with a StuckSimulation error once an event
+ * budget is exhausted, attaching the simulated time, fired count,
+ * and a snapshot of the pending event set so the hang is diagnosable
+ * from the exception alone — in CI the budget fails the cell in
+ * milliseconds instead of tripping the ctest timeout.
+ */
+
+#ifndef XUI_FAULT_WATCHDOG_HH
+#define XUI_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "des/event_queue.hh"
+
+namespace xui::fault
+{
+
+/** Thrown when a guarded run exhausts its event budget. */
+class StuckSimulation : public std::runtime_error
+{
+  public:
+    StuckSimulation(std::string message, Cycles now,
+                    std::uint64_t fired, std::size_t pendingCount,
+                    std::vector<EventQueue::PendingEvent> pending)
+        : std::runtime_error(std::move(message)), now_(now),
+          fired_(fired), pendingCount_(pendingCount),
+          pending_(std::move(pending))
+    {}
+
+    Cycles now() const { return now_; }
+    std::uint64_t eventsFired() const { return fired_; }
+    std::size_t pendingCount() const { return pendingCount_; }
+    /** First few pending events (when, seq) at abort time. */
+    const std::vector<EventQueue::PendingEvent> &pending() const
+    {
+        return pending_;
+    }
+
+  private:
+    Cycles now_;
+    std::uint64_t fired_;
+    std::size_t pendingCount_;
+    std::vector<EventQueue::PendingEvent> pending_;
+};
+
+/** Event-budget guard over one EventQueue. */
+class Watchdog
+{
+  public:
+    /** @param maxEvents events allowed per guarded run. */
+    explicit Watchdog(EventQueue &queue,
+                      std::uint64_t maxEvents = 2'000'000)
+        : queue_(queue), maxEvents_(maxEvents)
+    {}
+
+    /**
+     * Run events up to `limit` like EventQueue::runUntil, aborting
+     * with StuckSimulation when more than the budget fires.
+     * @return events executed.
+     */
+    std::uint64_t runUntil(Cycles limit);
+
+    std::uint64_t eventsRun() const { return eventsRun_; }
+
+  private:
+    EventQueue &queue_;
+    std::uint64_t maxEvents_;
+    std::uint64_t eventsRun_ = 0;
+};
+
+} // namespace xui::fault
+
+#endif // XUI_FAULT_WATCHDOG_HH

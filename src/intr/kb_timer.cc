@@ -49,6 +49,15 @@ KbTimer::acknowledge()
         armed_ = false;
 }
 
+bool
+KbTimer::consumeExpiry(Cycles now)
+{
+    if (!expired(now))
+        return false;
+    acknowledge();
+    return true;
+}
+
 KbTimerSave
 KbTimer::saveAndDisarm()
 {

@@ -80,9 +80,26 @@ class KbTimer
 
     /**
      * Acknowledge a firing: advance the deadline (periodic) or
-     * disarm (one-shot). Call exactly once per delivered interrupt.
+     * disarm (one-shot). Call exactly once per delivered interrupt,
+     * immediately after observing expired() — if user code can run
+     * in between (a delayed in-flight fire), use consumeExpiry()
+     * instead: acknowledge() after a one-shot re-arm disarms the
+     * *new* programming (the arm-while-firing edge, pinned by
+     * KbTimer.AcknowledgeAfterRearmDisarmsNewProgramming).
      */
     void acknowledge();
+
+    /**
+     * Consume an expiry only if the timer is still expired at `now`:
+     * advance the deadline (periodic) or disarm (one-shot) and
+     * return true. A clear_timer() or a re-arm to a future deadline
+     * between the expiry observation and this call makes it a no-op,
+     * so an in-flight fire cancelled by newer programming cannot
+     * corrupt that programming.
+     * @return true when an expiry was consumed (deliver the
+     *         interrupt); false when the fire was cancelled.
+     */
+    bool consumeExpiry(Cycles now);
 
     /**
      * kb_timer_state_MSR read: capture state for a context switch.

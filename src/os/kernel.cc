@@ -5,6 +5,35 @@
 namespace xui
 {
 
+namespace
+{
+
+std::uint64_t
+uipiKey(ThreadId t, unsigned v)
+{
+    return fault::keyFor(fault::Channel::Uipi, t, v);
+}
+
+std::uint64_t
+kbKey(ThreadId t, unsigned v)
+{
+    return fault::keyFor(fault::Channel::KbTimer, t, v);
+}
+
+std::uint64_t
+fwdKey(ThreadId t, unsigned v)
+{
+    return fault::keyFor(fault::Channel::Forward, t, v);
+}
+
+std::uint64_t
+sigKey(ThreadId t, unsigned signo)
+{
+    return fault::keyFor(fault::Channel::Signal, t, signo);
+}
+
+} // namespace
+
 Kernel::Kernel(Simulation &sim, const CostModel &costs,
                unsigned num_cores)
     : sim_(sim), costs_(costs), cores_(num_cores)
@@ -49,22 +78,14 @@ Kernel::isRunning(ThreadId id) const
 }
 
 unsigned
-Kernel::drainParked(Thread &t)
+Kernel::drainParked(ThreadId id)
 {
+    Thread &t = thread(id);
     unsigned delivered = 0;
     // UIPI slow path: interrupts posted to the UPID while the thread
     // was descheduled are reposted as self-UIPIs on resume (§3.2).
-    if (t.hasUpid && t.upid.hasPending()) {
-        std::uint64_t pir = t.upid.fetchAndClearPir();
-        t.upid.clearOutstanding();
-        for (unsigned v = 0; v < kNumUserVectors; ++v) {
-            if ((pir >> v) & 1) {
-                if (t.handler)
-                    t.handler(v);
-                ++delivered;
-            }
-        }
-    }
+    if (t.hasUpid && t.upid.hasPending())
+        delivered += scanUpid(id);
     // Forwarded-interrupt slow path: drain the DUPID (§4.5).
     if (t.dupid.hasPending()) {
         Bitset256 parked = t.dupid.fetchAndClear();
@@ -73,10 +94,75 @@ Kernel::drainParked(Thread &t)
             parked.clear(v);
             if (t.handler)
                 t.handler(v);
+            if (ledger_ != nullptr)
+                ledger_->onDelivered(fwdKey(id, v));
             ++delivered;
         }
     }
     return delivered;
+}
+
+unsigned
+Kernel::scanUpid(ThreadId id)
+{
+    Thread &t = thread(id);
+    std::uint64_t pir = t.upid.fetchAndClearPir();
+    t.upid.clearOutstanding();
+    unsigned delivered = 0;
+    for (unsigned v = 0; v < kNumUserVectors; ++v) {
+        if ((pir >> v) & 1) {
+            if (t.handler)
+                t.handler(v);
+            if (ledger_ != nullptr)
+                ledger_->onDelivered(uipiKey(id, v));
+            ++delivered;
+        }
+    }
+    return delivered;
+}
+
+void
+Kernel::notifyArrived(ThreadId id)
+{
+    Thread &t = thread(id);
+    if (!t.hasUpid)
+        return;
+    if (!t.running)
+        return;  // posts stay parked; resume-drain is the fallback
+    if (t.upid.hasPending()) {
+        scanUpid(id);
+    } else {
+        // Dedup absorbed it (duplicate/storm): scan finds nothing.
+        t.upid.clearOutstanding();
+        if (ledger_ != nullptr)
+            ledger_->onSpuriousScan();
+        bump(mSpuriousScans_);
+    }
+}
+
+void
+Kernel::scheduleUpidRecovery(ThreadId id, unsigned attempt)
+{
+    Cycles delay = recoveryBackoff_ << attempt;
+    sim_.queue().scheduleAfter(delay, [this, id, attempt] {
+        Thread &t = thread(id);
+        if (!t.hasUpid || !t.upid.hasPending())
+            return;  // fast path or resume-drain beat the rescan
+        if (t.running) {
+            unsigned n = scanUpid(id);
+            bump(mRecoveredRescan_, n);
+            return;
+        }
+        // Receiver descheduled: retry with backoff; if retries run
+        // out, the posts stay parked and the resume-drain slow path
+        // (scheduleOn) remains the designed fallback.
+        if (attempt + 1 < maxRecoveryAttempts_) {
+            bump(mRecoveryRetry_);
+            scheduleUpidRecovery(id, attempt + 1);
+        } else {
+            bump(mRecoveryParked_);
+        }
+    });
 }
 
 Cycles
@@ -109,6 +195,15 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
         if (missed && t.handler) {
             t.handler(t.timerVector);
             cost += costs_.kbTimerReceive;
+            if (ledger_ != nullptr) {
+                if (!t.timerDuePosted)
+                    ledger_->onPosted(kbKey(id, t.timerVector));
+                ledger_->onDelivered(kbKey(id, t.timerVector));
+            }
+            if (t.timerDuePosted) {
+                t.timerDuePosted = false;
+                bump(mRecoveredTimerLate_);
+            }
         }
     } else {
         core.timer.configure(false, 0);
@@ -118,7 +213,7 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
     core.fwd.setActiveMask(t.fwdMask);
 
     // Deliver anything parked while the thread was out.
-    unsigned reposts = drainParked(t);
+    unsigned reposts = drainParked(id);
     cost += reposts * costs_.uipiTrackedReceive;
     bump(mReposts_, reposts);
 
@@ -127,6 +222,8 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
         t.pendingSignal = false;
         if (t.handler)
             t.handler(t.pendingSigno);
+        if (ledger_ != nullptr)
+            ledger_->onDelivered(sigKey(id, t.pendingSigno));
         ++signalsDelivered_;
         bump(mSignals_);
         cost += costs_.signalReceive;
@@ -149,8 +246,17 @@ Kernel::deschedule(ThreadId id)
         t.upid.setSuppressed(true);
 
     // Save the live timer so it can be restored on resume (§4.3).
-    if (t.timerEnabled)
+    if (t.timerEnabled) {
         t.timerSave = core.timer.saveAndDisarm();
+        // An observed-but-undelivered expiry (fault drop/delay)
+        // travels with the thread: the restore-missed path on the
+        // next resume completes delivery and the accounting.
+        if (core.timerDue) {
+            core.timerDue = false;
+            core.timerMisfired = false;
+            t.timerDuePosted = true;
+        }
+    }
 
     // The next thread's forwarded_active mask replaces this one's;
     // clear it in the meantime so arrivals take the slow path.
@@ -187,27 +293,85 @@ Kernel::senduipi(int uitt_index)
     const UittEntry *entry = uitt_.lookup(uitt_index);
     assert(entry != nullptr && "senduipi with invalid UITT index");
 
+    auto it = upidOwner_.find(entry->upid);
+    assert(it != upidOwner_.end());
+    ThreadId tid = it->second;
+
     Upid::PostResult result = entry->upid->post(entry->userVector);
+    if (ledger_ != nullptr)
+        ledger_->onPosted(uipiKey(tid, entry->userVector));
     if (!result.sendIpi) {
         bump(mUipiSuppressed_);
         return DeliveryPath::Suppressed;
     }
 
-    auto it = upidOwner_.find(entry->upid);
-    assert(it != upidOwner_.end());
-    Thread &t = thread(it->second);
+    Thread &t = thread(tid);
     if (!t.running) {
         // Race: SN not yet observed; kernel captures it for later.
         bump(mUipiDeferred_);
         return DeliveryPath::Deferred;
     }
-    // Fast path: notification IPI hits the running thread.
-    std::uint64_t pir = t.upid.fetchAndClearPir();
-    t.upid.clearOutstanding();
-    for (unsigned v = 0; v < kNumUserVectors; ++v) {
-        if (((pir >> v) & 1) && t.handler)
-            t.handler(v);
+
+    // The notification IPI is in flight: the fault fabric may drop,
+    // delay, duplicate, reorder, or storm it (Site::NotifyIpi).
+    if (fault_ != nullptr) {
+        auto d = fault_->decide(fault::Site::NotifyIpi);
+        switch (d.action) {
+          case fault::Action::Drop:
+            // IPI lost on the wire: the post stays in the PIR. The
+            // recovery rescan (or the resume-drain slow path)
+            // eventually delivers it.
+            bump(mFaultIpiDropped_);
+            if (recoveryEnabled_)
+                scheduleUpidRecovery(tid, 0);
+            return DeliveryPath::Deferred;
+          case fault::Action::Delay: {
+            Cycles delta = d.magnitude == 0 ? 1 : d.magnitude;
+            bump(mFaultIpiDelayed_);
+            sim_.queue().scheduleAfter(delta, [this, tid] {
+                notifyArrived(tid);
+            });
+            return DeliveryPath::Deferred;
+          }
+          case fault::Action::Duplicate:
+            // Deliver now *and* echo the IPI one cycle later; the
+            // second scan finds an empty PIR (spurious).
+            bump(mFaultIpiDuplicated_);
+            sim_.queue().scheduleAfter(1, [this, tid] {
+                notifyArrived(tid);
+            });
+            break;
+          case fault::Action::Reorder:
+            // The IPI overtakes the PIR write: the scan runs before
+            // the post is visible, finds nothing, and returns. The
+            // rescan path recovers the stranded post.
+            bump(mFaultIpiReordered_);
+            t.upid.clearOutstanding();
+            if (ledger_ != nullptr)
+                ledger_->onSpuriousScan();
+            bump(mSpuriousScans_);
+            if (recoveryEnabled_)
+                scheduleUpidRecovery(tid, 0);
+            return DeliveryPath::Deferred;
+          case fault::Action::Storm: {
+            unsigned copies = d.magnitude == 0 ? 1 : d.magnitude;
+            bump(mFaultIpiStorm_, copies);
+            for (unsigned i = 0; i < copies; ++i) {
+                sim_.queue().scheduleAfter(1 + i, [this, tid] {
+                    notifyArrived(tid);
+                });
+            }
+            break;
+          }
+          case fault::Action::None:
+          case fault::Action::Spurious:
+          default:
+            break;
+        }
     }
+
+    // Fast path: notification IPI hits the running thread.
+    scanUpid(tid);
     bump(mUipiFast_);
     return DeliveryPath::Fast;
 }
@@ -238,8 +402,17 @@ Kernel::setTimer(ThreadId id, Cycles cycles, KbTimerMode mode)
     Thread &t = thread(id);
     if (!t.timerEnabled)
         return false;
-    if (t.running)
+    if (t.running) {
+        // Reprogramming cancels an observed-but-undelivered expiry.
+        if (cores_[t.core].timerDue)
+            abandonTimerDue(t.core);
         return cores_[t.core].timer.setTimer(sim_.now(), cycles, mode);
+    }
+    if (t.timerDuePosted) {
+        t.timerDuePosted = false;
+        if (ledger_ != nullptr)
+            ledger_->onAbandoned(kbKey(id, t.timerVector));
+    }
     // Programming while descheduled updates the saved image.
     t.timerSave.armed = true;
     t.timerSave.mode = mode;
@@ -258,10 +431,18 @@ void
 Kernel::clearTimer(ThreadId id)
 {
     Thread &t = thread(id);
-    if (t.running)
+    if (t.running) {
+        if (cores_[t.core].timerDue)
+            abandonTimerDue(t.core);
         cores_[t.core].timer.clearTimer();
-    else
+    } else {
         t.timerSave.armed = false;
+        if (t.timerDuePosted) {
+            t.timerDuePosted = false;
+            if (ledger_ != nullptr)
+                ledger_->onAbandoned(kbKey(id, t.timerVector));
+        }
+    }
 }
 
 KbTimer &
@@ -275,17 +456,102 @@ bool
 Kernel::pollKbTimer(CoreId core_id, Cycles now)
 {
     Core &core = cores_[core_id];
+    if (fault_ != nullptr) {
+        auto d = fault_->decide(fault::Site::KbTimerPoll);
+        if (d.action == fault::Action::Spurious) {
+            // Phantom expiry: the handler runs although nothing was
+            // armed. Out-of-band by design, so no ledger post — the
+            // invariants only track real expiries.
+            bump(mFaultTimerSpurious_);
+            ThreadId running = core.running;
+            if (running != kNoThread) {
+                Thread &t = thread(running);
+                if (t.handler)
+                    t.handler(core.timer.vector());
+            }
+        }
+    }
     if (!core.timer.expired(now))
         return false;
+
+    // First observation of this expiry: account the post once.
+    if (!core.timerDue) {
+        core.timerDue = true;
+        if (ledger_ != nullptr && core.running != kNoThread)
+            ledger_->onPosted(
+                kbKey(core.running, core.timer.vector()));
+    }
+
+    if (fault_ != nullptr) {
+        auto d = fault_->decide(fault::Site::KbTimerFire);
+        if (d.action == fault::Action::Drop) {
+            // Misfire: the interrupt is swallowed, but the expiry
+            // stays unacknowledged so the next poll — or the
+            // restore-missed path on resume — redelivers it late.
+            bump(mFaultTimerDropped_);
+            core.timerMisfired = true;
+            return false;
+        }
+        if (d.action == fault::Action::Delay) {
+            Cycles delta = d.magnitude == 0 ? 1 : d.magnitude;
+            bump(mFaultTimerDelayed_);
+            core.timerMisfired = true;
+            sim_.queue().scheduleAfter(delta, [this, core_id] {
+                delayedKbTimerFire(core_id);
+            });
+            return false;
+        }
+    }
+
     core.timer.acknowledge();
+    deliverKbTimerFired(core_id);
+    return true;
+}
+
+void
+Kernel::delayedKbTimerFire(CoreId core_id)
+{
+    Core &core = cores_[core_id];
+    // The in-flight fire may race a clear/re-arm or a context
+    // switch; consumeExpiry only acknowledges a still-live expiry.
+    if (!core.timer.consumeExpiry(sim_.now())) {
+        bump(mTimerFireCancelled_);
+        if (core.timerDue)
+            abandonTimerDue(core_id);
+        return;
+    }
+    deliverKbTimerFired(core_id);
+}
+
+void
+Kernel::deliverKbTimerFired(CoreId core_id)
+{
+    Core &core = cores_[core_id];
     bump(mKbTimerFired_);
     ThreadId running = core.running;
     if (running != kNoThread) {
         Thread &t = thread(running);
         if (t.handler)
             t.handler(core.timer.vector());
+        if (ledger_ != nullptr && core.timerDue)
+            ledger_->onDelivered(
+                kbKey(running, core.timer.vector()));
     }
-    return true;
+    if (core.timerMisfired)
+        bump(mRecoveredTimerLate_);
+    core.timerDue = false;
+    core.timerMisfired = false;
+}
+
+void
+Kernel::abandonTimerDue(CoreId core_id)
+{
+    Core &core = cores_[core_id];
+    if (ledger_ != nullptr && core.running != kNoThread)
+        ledger_->onAbandoned(
+            kbKey(core.running, core.timer.vector()));
+    core.timerDue = false;
+    core.timerMisfired = false;
 }
 
 int
@@ -322,16 +588,44 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
         ThreadId running = core.running;
         assert(running != kNoThread);
         Thread &t = thread(running);
+        if (ledger_ != nullptr)
+            ledger_->onPosted(fwdKey(running, v));
+        if (fault_ != nullptr) {
+            auto d = fault_->decide(fault::Site::ForwardDispatch);
+            if (d.action == fault::Action::Drop) {
+                // Fast-path delivery lost: degrade to slow-path
+                // semantics by parking in the DUPID; the resume
+                // drain delivers it.
+                bump(mFaultFwdDropped_);
+                t.dupid.post(v);
+                bump(mRecoveredFwdParked_);
+                return DeliveryPath::Deferred;
+            }
+            if (d.action == fault::Action::Delay) {
+                Cycles delta = d.magnitude == 0 ? 1 : d.magnitude;
+                bump(mFaultFwdDelayed_);
+                sim_.queue().scheduleAfter(
+                    delta, [this, core_id, v, running] {
+                        delayedForwardDeliver(core_id, v, running);
+                    });
+                return DeliveryPath::Deferred;
+            }
+        }
         if (t.handler)
             t.handler(v);
+        if (ledger_ != nullptr)
+            ledger_->onDelivered(fwdKey(running, v));
         bump(mFwdFast_);
         return DeliveryPath::Fast;
       }
       case ForwardOutcome::SlowPath: {
         unsigned v = core.fwd.takeHighestUirr();
         ThreadId owner = forwardOwner(core_id, v);
-        if (owner != kNoThread)
+        if (owner != kNoThread) {
+            if (ledger_ != nullptr)
+                ledger_->onPosted(fwdKey(owner, v));
             thread(owner).dupid.post(v);
+        }
         bump(mFwdSlow_);
         return DeliveryPath::Deferred;
       }
@@ -339,6 +633,26 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
         return DeliveryPath::Deferred;
     }
     return DeliveryPath::Deferred;
+}
+
+void
+Kernel::delayedForwardDeliver(CoreId core_id, unsigned vector,
+                              ThreadId posted_to)
+{
+    Core &core = cores_[core_id];
+    if (core.running == posted_to) {
+        Thread &t = thread(posted_to);
+        if (t.handler)
+            t.handler(vector);
+        if (ledger_ != nullptr)
+            ledger_->onDelivered(fwdKey(posted_to, vector));
+        bump(mRecoveredFwdDelayed_);
+        return;
+    }
+    // Receiver context-switched while the interrupt was in flight:
+    // fall back to DUPID parking; the resume drain delivers it.
+    thread(posted_to).dupid.post(vector);
+    bump(mRecoveredFwdParked_);
 }
 
 ThreadId
@@ -366,9 +680,13 @@ Kernel::setInterval(ThreadId id, Cycles interval, unsigned signo)
     timer.event = std::make_unique<PeriodicEvent>(
         sim_.queue(), interval, [this, id, signo] {
             Thread &t = thread(id);
+            if (ledger_ != nullptr)
+                ledger_->onPosted(sigKey(id, signo));
             if (t.running) {
                 if (t.handler)
                     t.handler(signo);
+                if (ledger_ != nullptr)
+                    ledger_->onDelivered(sigKey(id, signo));
                 ++signalsDelivered_;
                 bump(mSignals_);
             } else {
@@ -409,6 +727,41 @@ Kernel::attachMetrics(MetricsRegistry &registry)
     mFwdFast_ = &registry.counter("kernel.forward.fast");
     mFwdSlow_ = &registry.counter("kernel.forward.slow");
     mKbTimerFired_ = &registry.counter("kernel.kbtimer.fired");
+
+    mFaultIpiDropped_ = &registry.counter("kernel.fault.ipi_dropped");
+    mFaultIpiDelayed_ = &registry.counter("kernel.fault.ipi_delayed");
+    mFaultIpiDuplicated_ =
+        &registry.counter("kernel.fault.ipi_duplicated");
+    mFaultIpiReordered_ =
+        &registry.counter("kernel.fault.ipi_reordered");
+    mFaultIpiStorm_ = &registry.counter("kernel.fault.ipi_storm");
+    mFaultTimerDropped_ =
+        &registry.counter("kernel.fault.kbtimer_misfire");
+    mFaultTimerDelayed_ =
+        &registry.counter("kernel.fault.kbtimer_delayed");
+    mFaultTimerSpurious_ =
+        &registry.counter("kernel.fault.kbtimer_spurious");
+    mFaultFwdDropped_ =
+        &registry.counter("kernel.fault.forward_dropped");
+    mFaultFwdDelayed_ =
+        &registry.counter("kernel.fault.forward_delayed");
+
+    mRecoveredRescan_ =
+        &registry.counter("kernel.recovery.upid_rescan");
+    mRecoveryRetry_ =
+        &registry.counter("kernel.recovery.rescan_retry");
+    mRecoveryParked_ =
+        &registry.counter("kernel.recovery.parked_fallback");
+    mRecoveredTimerLate_ =
+        &registry.counter("kernel.recovery.kbtimer_late");
+    mTimerFireCancelled_ =
+        &registry.counter("kernel.recovery.kbtimer_cancelled");
+    mRecoveredFwdParked_ =
+        &registry.counter("kernel.recovery.forward_parked");
+    mRecoveredFwdDelayed_ =
+        &registry.counter("kernel.recovery.forward_delayed");
+    mSpuriousScans_ =
+        &registry.counter("kernel.recovery.spurious_scans");
 }
 
 unsigned

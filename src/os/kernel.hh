@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "des/simulation.hh"
+#include "fault/fault.hh"
+#include "fault/invariants.hh"
 #include "intr/forwarding.hh"
 #include "intr/kb_timer.hh"
 #include "intr/uitt.hh"
@@ -195,6 +197,42 @@ class Kernel
     /** Per-thread pending-repost count (tests). */
     unsigned pendingReposts(ThreadId thread) const;
 
+    // ----- fault injection & graceful degradation (src/fault) -------
+
+    /**
+     * Attach the fault fabric. With no injector (the default) every
+     * fault branch is one null check and delivery is byte-identical
+     * to the unfaulted kernel.
+     */
+    void setFaultInjector(fault::Injector *inj) { fault_ = inj; }
+
+    /**
+     * Attach a delivery ledger: every post/delivery through the
+     * kernel's four notification channels (UIPI, KB timer,
+     * forwarding, signals) is accounted for invariant checking.
+     */
+    void setDeliveryLedger(fault::DeliveryLedger *ledger)
+    {
+        ledger_ = ledger;
+    }
+
+    /**
+     * Enable the graceful-degradation paths (UPID rescan with
+     * bounded backoff after a lost/reordered notification). On by
+     * default; chaos turns it off to prove the invariants catch
+     * unrecovered loss.
+     */
+    void setRecoveryEnabled(bool v) { recoveryEnabled_ = v; }
+    bool recoveryEnabled() const { return recoveryEnabled_; }
+
+    /** Tune the rescan backoff (base doubles per attempt). */
+    void setRecoveryParams(Cycles backoff_base,
+                           unsigned max_attempts)
+    {
+        recoveryBackoff_ = backoff_base;
+        maxRecoveryAttempts_ = max_attempts;
+    }
+
     /**
      * Register the kernel's counters ("kernel.*") with a metrics
      * registry. Without this call every counter pointer stays null
@@ -219,6 +257,12 @@ class Kernel
         /** Pending (collapsed) interval-timer signal. */
         bool pendingSignal = false;
         unsigned pendingSigno = 0;
+        /**
+         * A KB-timer expiry was observed (and ledger-posted) for
+         * this thread but not yet delivered when it descheduled;
+         * the restore-missed path completes the accounting.
+         */
+        bool timerDuePosted = false;
     };
 
     struct Core
@@ -227,12 +271,31 @@ class Kernel
         KbTimer timer;
         ForwardingUnit fwd;
         std::uint8_t nextFwdVector = 64;  // above the UV space
+        /** An observed KB-timer expiry awaits delivery (fault). */
+        bool timerDue = false;
+        /** The awaited expiry was dropped/delayed by a fault. */
+        bool timerMisfired = false;
     };
 
     Thread &thread(ThreadId id);
     const Thread &thread(ThreadId id) const;
     /** Deliver every vector parked for a thread; returns count. */
-    unsigned drainParked(Thread &t);
+    unsigned drainParked(ThreadId id);
+    /** Notification-processing scan: drain PIR to the handler. */
+    unsigned scanUpid(ThreadId id);
+    /** A (delayed/duplicated) notification IPI arrives. */
+    void notifyArrived(ThreadId id);
+    /** Bounded rescan-with-backoff after a lost notification. */
+    void scheduleUpidRecovery(ThreadId id, unsigned attempt);
+    /** In-flight (fault-delayed) KB-timer fire lands. */
+    void delayedKbTimerFire(CoreId core_id);
+    /** Deliver an acknowledged KB-timer fire to the running thread. */
+    void deliverKbTimerFired(CoreId core_id);
+    /** In-flight (fault-delayed) forwarded interrupt lands. */
+    void delayedForwardDeliver(CoreId core_id, unsigned vector,
+                               ThreadId posted_to);
+    /** Abandon an observed-but-cancelled KB-timer expiry. */
+    void abandonTimerDue(CoreId core_id);
 
     Simulation &sim_;
     CostModel costs_;
@@ -267,6 +330,35 @@ class Kernel
     Counter *mFwdFast_ = nullptr;
     Counter *mFwdSlow_ = nullptr;
     Counter *mKbTimerFired_ = nullptr;
+
+    // Fault fabric (null = perfect delivery, zero-cost).
+    fault::Injector *fault_ = nullptr;
+    fault::DeliveryLedger *ledger_ = nullptr;
+    bool recoveryEnabled_ = true;
+    Cycles recoveryBackoff_ = 256;
+    unsigned maxRecoveryAttempts_ = 6;
+
+    // kernel.fault.*: injections applied to kernel channels.
+    Counter *mFaultIpiDropped_ = nullptr;
+    Counter *mFaultIpiDelayed_ = nullptr;
+    Counter *mFaultIpiDuplicated_ = nullptr;
+    Counter *mFaultIpiReordered_ = nullptr;
+    Counter *mFaultIpiStorm_ = nullptr;
+    Counter *mFaultTimerDropped_ = nullptr;
+    Counter *mFaultTimerDelayed_ = nullptr;
+    Counter *mFaultTimerSpurious_ = nullptr;
+    Counter *mFaultFwdDropped_ = nullptr;
+    Counter *mFaultFwdDelayed_ = nullptr;
+
+    // kernel.recovery.*: graceful-degradation outcomes.
+    Counter *mRecoveredRescan_ = nullptr;
+    Counter *mRecoveryRetry_ = nullptr;
+    Counter *mRecoveryParked_ = nullptr;
+    Counter *mRecoveredTimerLate_ = nullptr;
+    Counter *mTimerFireCancelled_ = nullptr;
+    Counter *mRecoveredFwdParked_ = nullptr;
+    Counter *mRecoveredFwdDelayed_ = nullptr;
+    Counter *mSpuriousScans_ = nullptr;
 };
 
 } // namespace xui

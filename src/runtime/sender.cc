@@ -1,0 +1,59 @@
+#include "runtime/sender.hh"
+
+namespace xui
+{
+
+DeliveryPath
+ReliableSender::send()
+{
+    ++stats_.sent;
+    bump(mSent_);
+    DeliveryPath path = kernel_.senduipi(index_);
+    if (path == DeliveryPath::Fast) {
+        ++stats_.fastDelivered;
+        bump(mFast_);
+        return path;
+    }
+    if (opts_.maxAttempts > 1)
+        scheduleRetry(1);
+    else {
+        ++stats_.fallbacks;
+        bump(mFallbacks_);
+    }
+    return path;
+}
+
+void
+ReliableSender::scheduleRetry(unsigned attempt)
+{
+    Cycles delay = opts_.backoff << (attempt - 1);
+    sim_.queue().scheduleAfter(delay, [this, attempt] {
+        ++stats_.retries;
+        bump(mRetries_);
+        DeliveryPath path = kernel_.senduipi(index_);
+        if (path == DeliveryPath::Fast) {
+            ++stats_.fastDelivered;
+            bump(mFast_);
+            return;
+        }
+        if (attempt + 1 < opts_.maxAttempts) {
+            scheduleRetry(attempt + 1);
+        } else {
+            // Out of attempts: the vector is posted in the UPID, so
+            // the kernel's resume-drain slow path still delivers it.
+            ++stats_.fallbacks;
+            bump(mFallbacks_);
+        }
+    });
+}
+
+void
+ReliableSender::attachMetrics(MetricsRegistry &registry)
+{
+    mSent_ = &registry.counter("runtime.sender.sent");
+    mFast_ = &registry.counter("runtime.sender.fast");
+    mRetries_ = &registry.counter("runtime.sender.retries");
+    mFallbacks_ = &registry.counter("runtime.sender.fallbacks");
+}
+
+} // namespace xui

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reliable user-interrupt sender (graceful degradation, sender side).
+ *
+ * senduipi is fire-and-forget: when the receiver is descheduled (SN
+ * set or the running check races) the vector parks in the UPID and
+ * waits for the resume drain. Under fault injection the notification
+ * IPI itself can also be dropped on the wire. ReliableSender wraps
+ * Kernel::senduipi with a bounded retry-with-backoff loop so a
+ * latency-sensitive sender keeps nudging the receiver instead of
+ * waiting an unbounded time for the next context switch:
+ *
+ *  - attempt 0 sends immediately;
+ *  - every non-Fast outcome schedules a retry after
+ *    backoff * 2^attempt cycles;
+ *  - after maxRetries attempts the sender gives up and counts a
+ *    fallback — the vector is still posted, so the kernel's
+ *    resume-drain slow path remains the delivery guarantee.
+ *
+ * Retries re-post the same vector; the UPID PIR coalesces them, so
+ * the receiver observes at-least-once semantics (same as raw UIPI).
+ */
+
+#ifndef XUI_RUNTIME_SENDER_HH
+#define XUI_RUNTIME_SENDER_HH
+
+#include <cstdint>
+
+#include "des/simulation.hh"
+#include "obs/metrics.hh"
+#include "os/kernel.hh"
+
+namespace xui
+{
+
+/** Bounded retry-with-backoff wrapper around Kernel::senduipi. */
+class ReliableSender
+{
+  public:
+    struct Options
+    {
+        /** Total attempts (first send + retries). */
+        unsigned maxAttempts = 4;
+        /** Base retry delay; doubles per attempt. */
+        Cycles backoff = 64;
+    };
+
+    struct Stats
+    {
+        /** send() calls. */
+        std::uint64_t sent = 0;
+        /** Attempts that delivered on the fast path. */
+        std::uint64_t fastDelivered = 0;
+        /** Scheduled retry attempts. */
+        std::uint64_t retries = 0;
+        /** Sends that exhausted retries (resume drain takes over). */
+        std::uint64_t fallbacks = 0;
+    };
+
+    ReliableSender(Simulation &sim, Kernel &kernel, int uitt_index,
+                   Options opts)
+        : sim_(sim), kernel_(kernel), index_(uitt_index), opts_(opts)
+    {
+    }
+
+    ReliableSender(Simulation &sim, Kernel &kernel, int uitt_index)
+        : ReliableSender(sim, kernel, uitt_index, Options())
+    {
+    }
+
+    /**
+     * Post the vector; on a non-Fast outcome arm the retry loop.
+     * @return the first attempt's delivery path.
+     */
+    DeliveryPath send();
+
+    const Stats &stats() const { return stats_; }
+
+    /** Register "runtime.sender.*" counters. */
+    void attachMetrics(MetricsRegistry &registry);
+
+  private:
+    void scheduleRetry(unsigned attempt);
+
+    static void bump(Counter *c, std::uint64_t n = 1)
+    {
+        if (c != nullptr)
+            c->inc(n);
+    }
+
+    Simulation &sim_;
+    Kernel &kernel_;
+    int index_;
+    Options opts_;
+    Stats stats_;
+    Counter *mSent_ = nullptr;
+    Counter *mFast_ = nullptr;
+    Counter *mRetries_ = nullptr;
+    Counter *mFallbacks_ = nullptr;
+};
+
+} // namespace xui
+
+#endif // XUI_RUNTIME_SENDER_HH

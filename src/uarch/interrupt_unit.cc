@@ -9,8 +9,15 @@ std::uint64_t
 InterruptUnit::raise(IntrSource source, std::uint8_t vector,
                      Cycles now)
 {
+    RaiseOutcome outcome = RaiseOutcome::Deliver;
+    if (raiseHook_)
+        outcome = raiseHook_(source, vector);
+    if (outcome == RaiseOutcome::Drop)
+        return 0;
     std::uint64_t id = nextSpanId_++;
     pending_.push_back(PendingIntr{source, vector, now, id});
+    if (outcome == RaiseOutcome::Duplicate)
+        pending_.push_back(PendingIntr{source, vector, now, id});
     return id;
 }
 

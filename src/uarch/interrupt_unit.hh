@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 
 #include "des/time.hh"
 
@@ -63,9 +65,31 @@ enum class TrackerState : std::uint8_t
 class InterruptUnit
 {
   public:
+    /** What the raise-time fault hook decided (fault injection). */
+    enum class RaiseOutcome : std::uint8_t
+    {
+        Deliver,    ///< enqueue normally (the only path with no hook)
+        Drop,       ///< swallow: nothing is enqueued, raise returns 0
+        Duplicate,  ///< enqueue twice (both share one span id)
+    };
+
+    /**
+     * Fault hook consulted on every raise(). Installed only by the
+     * chaos harness; the default (empty) hook costs one bool check.
+     */
+    using RaiseFaultHook =
+        std::function<RaiseOutcome(IntrSource, std::uint8_t)>;
+
+    void setRaiseFaultHook(RaiseFaultHook hook)
+    {
+        raiseHook_ = std::move(hook);
+    }
+
     /**
      * Raise (post) an interrupt toward this core.
-     * @return the span (correlation) id assigned to it.
+     * @return the span (correlation) id assigned to it, or 0 when a
+     *         fault hook dropped the raise (callers must not observe
+     *         or count a span-0 raise).
      */
     std::uint64_t raise(IntrSource source, std::uint8_t vector,
                         Cycles now);
@@ -126,6 +150,7 @@ class InterruptUnit
     TrackerState state_ = TrackerState::Idle;
     bool uif_ = true;
     std::uint64_t nextSpanId_ = 1;
+    RaiseFaultHook raiseHook_;
 };
 
 } // namespace xui

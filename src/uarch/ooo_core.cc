@@ -52,9 +52,11 @@ OooCore::deviceInterrupt(std::uint8_t vector)
       case ForwardOutcome::FastPath: {
         std::uint64_t span =
             intr_.raise(IntrSource::Forwarded, vector, cycle_);
-        observe(IntrStage::Raise, span, IntrSource::Forwarded,
-                vector);
-        ++stats_.interruptsRaised;
+        if (span != 0) {
+            observe(IntrStage::Raise, span, IntrSource::Forwarded,
+                    vector);
+            ++stats_.interruptsRaised;
+        }
         break;
       }
       case ForwardOutcome::SlowPath:
@@ -138,9 +140,11 @@ OooCore::tick()
         if (a.vector == uinv_) {
             std::uint64_t span =
                 intr_.raise(IntrSource::UserIpi, a.vector, cycle_);
-            observe(IntrStage::Raise, span, IntrSource::UserIpi,
-                    a.vector);
-            ++stats_.interruptsRaised;
+            if (span != 0) {
+                observe(IntrStage::Raise, span, IntrSource::UserIpi,
+                        a.vector);
+                ++stats_.interruptsRaised;
+            }
         } else {
             deviceInterrupt(a.vector);
         }
@@ -157,9 +161,11 @@ OooCore::tick()
         if (!already) {
             std::uint64_t span = intr_.raise(
                 IntrSource::KbTimer, kbTimer_.vector(), cycle_);
-            observe(IntrStage::Raise, span, IntrSource::KbTimer,
-                    kbTimer_.vector());
-            ++stats_.interruptsRaised;
+            if (span != 0) {
+                observe(IntrStage::Raise, span, IntrSource::KbTimer,
+                        kbTimer_.vector());
+                ++stats_.interruptsRaised;
+            }
         }
     }
 

@@ -265,6 +265,94 @@ TEST(EventQueueProperties, GenerationReuseNeverResurrects)
     EXPECT_FALSE(q.cancel(b));
 }
 
+TEST(EventQueueProperties, PeekNextTimeTracksHeadAcrossLevels)
+{
+    // peekNextTime() must report the exact next fire time without
+    // firing anything, across all wheel levels and the overflow
+    // horizon, and must see through cancellations.
+    EventQueue q;
+    EXPECT_EQ(q.peekNextTime(), EventQueue::kNoPending);
+
+    EventId far = q.scheduleAt(1u << 22, [] {});  // overflow range
+    EXPECT_EQ(q.peekNextTime(), Cycles(1) << 22);
+    q.scheduleAt(500, [] {});  // level-1 range
+    EXPECT_EQ(q.peekNextTime(), 500u);
+    EventId near = q.scheduleAt(7, [] {});  // level-0 range
+    EXPECT_EQ(q.peekNextTime(), 7u);
+
+    // Cancelling the head re-exposes the next-nearest event.
+    EXPECT_TRUE(q.cancel(near));
+    EXPECT_EQ(q.peekNextTime(), 500u);
+
+    // Peeking fires nothing.
+    EXPECT_EQ(q.firedCount(), 0u);
+    EXPECT_EQ(q.pending(), 2u);
+
+    q.runUntil(600);
+    EXPECT_EQ(q.peekNextTime(), Cycles(1) << 22);
+    EXPECT_TRUE(q.cancel(far));
+    EXPECT_EQ(q.peekNextTime(), EventQueue::kNoPending);
+}
+
+TEST(EventQueueProperties, PeekNextTimeAgreesWithFiringOrder)
+{
+    // Differential property: before every runOne(), peekNextTime()
+    // must equal the time at which that event then actually fires.
+    EventQueue q;
+    Rng rng(0xfeedu);
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i)
+        ids.push_back(q.scheduleAt(
+            1 + rng.nextBounded(100000), [] {}));
+    for (int i = 0; i < 50; ++i)
+        q.cancel(ids[rng.nextBounded(ids.size())]);
+
+    while (true) {
+        Cycles peek = q.peekNextTime();
+        if (peek == EventQueue::kNoPending)
+            break;
+        ASSERT_TRUE(q.runOne());
+        EXPECT_EQ(q.now(), peek);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueProperties, PendingSnapshotSortedAndTruncated)
+{
+    // pendingSnapshot() reports live events sorted by (when, seq),
+    // omits cancelled and fired ones, and truncates to `max`.
+    EventQueue q;
+    EventId dead = q.scheduleAt(40, [] {});
+    q.scheduleAt(30, [] {});
+    q.scheduleAt(10, [] {});
+    q.scheduleAt(30, [] {});  // same cycle: seq breaks the tie
+    q.scheduleAt(20, [] {});
+    EXPECT_TRUE(q.cancel(dead));
+
+    auto all = q.pendingSnapshot();
+    ASSERT_EQ(all.size(), 4u);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        EXPECT_TRUE(all[i - 1].when < all[i].when ||
+                    (all[i - 1].when == all[i].when &&
+                     all[i - 1].seq < all[i].seq))
+            << i;
+    }
+    EXPECT_EQ(all.front().when, 10u);
+    EXPECT_EQ(all.back().when, 30u);
+
+    auto top2 = q.pendingSnapshot(2);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0].when, all[0].when);
+    EXPECT_EQ(top2[0].seq, all[0].seq);
+    EXPECT_EQ(top2[1].when, all[1].when);
+    EXPECT_EQ(top2[1].seq, all[1].seq);
+
+    q.runUntil(15);  // fires the t=10 event
+    auto after = q.pendingSnapshot();
+    ASSERT_EQ(after.size(), 3u);
+    EXPECT_EQ(after.front().when, 20u);
+}
+
 TEST(EventQueueProperties, PoolBoundedUnderScheduleCancelChurn)
 {
     // One million schedule/cancel cycles must not grow the pool:

@@ -287,6 +287,71 @@ TEST(KbTimer, RestoreMissedOneShotDisarms)
     EXPECT_FALSE(t.armed());
 }
 
+TEST(KbTimer, AcknowledgeAfterRearmDisarmsNewProgramming)
+{
+    // The arm-while-firing edge this suite pins: an expiry is
+    // observed, then user code re-arms the timer before the
+    // (delayed) fire is finalized. A blind acknowledge() at that
+    // point disarms the *new* one-shot programming — it cannot tell
+    // the stale expiry from the fresh deadline. Callers that allow
+    // user code to run between observation and finalization must use
+    // consumeExpiry() instead (next tests).
+    KbTimer t;
+    t.configure(true, 0x21);
+    t.setTimer(0, 100, KbTimerMode::OneShot);
+    EXPECT_TRUE(t.expired(150));  // observed; delivery in flight
+
+    // User code re-arms for the future before the fire lands.
+    EXPECT_TRUE(t.setTimer(150, 900, KbTimerMode::OneShot));
+    t.acknowledge();  // the stale fire finalizes blindly
+    EXPECT_FALSE(t.armed()) << "blind acknowledge ate the re-arm";
+    EXPECT_FALSE(t.expired(900));  // the new deadline never fires
+}
+
+TEST(KbTimer, ConsumeExpiryRespectsRearm)
+{
+    // Same race via consumeExpiry(): the re-armed deadline is in the
+    // future, so the stale fire is reported cancelled and the new
+    // programming survives intact.
+    KbTimer t;
+    t.configure(true, 0x21);
+    t.setTimer(0, 100, KbTimerMode::OneShot);
+    EXPECT_TRUE(t.expired(150));
+
+    EXPECT_TRUE(t.setTimer(150, 900, KbTimerMode::OneShot));
+    EXPECT_FALSE(t.consumeExpiry(150)) << "stale fire must cancel";
+    EXPECT_TRUE(t.armed());
+    EXPECT_TRUE(t.expired(900));
+    EXPECT_TRUE(t.consumeExpiry(900));  // the real one delivers
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(KbTimer, ConsumeExpiryRespectsClear)
+{
+    // clear_timer() between observation and finalization: the fire
+    // must be a no-op, not a delivery.
+    KbTimer t;
+    t.configure(true, 0x21);
+    t.setTimer(0, 100, KbTimerMode::OneShot);
+    EXPECT_TRUE(t.expired(150));
+    t.clearTimer();
+    EXPECT_FALSE(t.consumeExpiry(150));
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(KbTimer, ConsumeExpiryMatchesAcknowledgeWhenImmediate)
+{
+    // With no user code in between, consumeExpiry() is exactly
+    // observe-then-acknowledge — including periodic realignment.
+    KbTimer t;
+    t.configure(true, 0x21);
+    t.setTimer(1000, 500, KbTimerMode::Periodic);
+    EXPECT_FALSE(t.consumeExpiry(1499));
+    EXPECT_TRUE(t.consumeExpiry(1500));
+    EXPECT_TRUE(t.armed());
+    EXPECT_TRUE(t.expired(2000));
+}
+
 TEST(KbTimer, RestoreUnarmedNoFire)
 {
     KbTimer t;
