@@ -15,6 +15,7 @@
 #ifndef XUI_BENCH_BENCH_UTIL_HH
 #define XUI_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,9 +23,100 @@
 #include <string>
 
 #include "exec/sweep.hh"
+#include "intr/policy.hh"
 
 namespace xui::bench
 {
+
+/**
+ * Parsed `--policy NAME` choice. The names map onto the delivery
+ * policies in src/intr/policy.hh plus the two mechanism knobs:
+ *  - off (default): the legacy protocol, bit-identical runs;
+ *  - next_only_edge / next_only_level / next_or_missed_edge /
+ *    next_or_missed_level: a (behavior x trigger) combination;
+ *  - moderated: ITR moderation + coalescing (see --itr-ns);
+ *  - adaptive: load-adaptive preemption quantum (fig7 runtime).
+ */
+struct PolicyChoice
+{
+    std::string name = "off";
+    /** True for every choice other than "off". */
+    bool enabled = false;
+    DeliveryPolicy policy{};
+    bool moderated = false;
+    bool adaptive = false;
+};
+
+/** @return false when `v` names no policy (`out` untouched). */
+inline bool
+parsePolicyName(const char *v, PolicyChoice &out)
+{
+    PolicyChoice c;
+    c.name = v;
+    c.enabled = true;
+    if (std::strcmp(v, "off") == 0) {
+        c.enabled = false;
+    } else if (std::strcmp(v, "next_only_edge") == 0) {
+        c.policy = {DeliveryBehavior::NextOnly, TriggerMode::Edge};
+    } else if (std::strcmp(v, "next_only_level") == 0) {
+        c.policy = {DeliveryBehavior::NextOnly, TriggerMode::Level};
+    } else if (std::strcmp(v, "next_or_missed_edge") == 0) {
+        c.policy = {DeliveryBehavior::NextOrMissed,
+                    TriggerMode::Edge};
+    } else if (std::strcmp(v, "next_or_missed_level") == 0) {
+        c.policy = {DeliveryBehavior::NextOrMissed,
+                    TriggerMode::Level};
+    } else if (std::strcmp(v, "moderated") == 0) {
+        c.moderated = true;
+    } else if (std::strcmp(v, "adaptive") == 0) {
+        c.adaptive = true;
+    } else {
+        return false;
+    }
+    out = c;
+    return true;
+}
+
+inline const char *
+policyUsageNames()
+{
+    return "off|next_only_edge|next_only_level|next_or_missed_edge|"
+           "next_or_missed_level|moderated|adaptive";
+}
+
+/** Strict decimal parse: digits only, no sign, no trailing junk. */
+inline bool
+parseU64Strict(const char *v, std::uint64_t &out)
+{
+    if (v == nullptr || *v == '\0')
+        return false;
+    for (const char *p = v; *p != '\0'; ++p)
+        if (*p < '0' || *p > '9')
+            return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long x = std::strtoull(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0')
+        return false;
+    out = x;
+    return true;
+}
+
+/** Strict positive-double parse (no trailing junk, finite, > 0). */
+inline bool
+parsePositiveDouble(const char *v, double &out)
+{
+    if (v == nullptr || *v == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double x = std::strtod(v, &end);
+    if (errno != 0 || end == v || *end != '\0' || !(x > 0.0) ||
+        !(x < 1e12))
+        return false;
+    out = x;
+    return true;
+}
 
 struct Options
 {
@@ -36,6 +128,20 @@ struct Options
     std::string traceJson;
     /** `--jobs N`: sweep worker threads (0 = hardware threads). */
     unsigned jobs = 0;
+    /** `--policy NAME`: delivery policy for the overload section. */
+    PolicyChoice policy;
+    /** True when --policy was given (even as "off"): the frontier
+     *  then runs only that policy instead of the full panel. */
+    bool policyGiven = false;
+    /** `--itr-ns N`: moderation rate limit (0 = bench default). */
+    std::uint64_t itrNs = 0;
+    /**
+     * `--offered-load X`: open-loop load multiplier relative to
+     * saturation (1.0 = saturation, 2.0 = 2x overload). When set
+     * (> 0) the bench runs its saturation-frontier section instead
+     * of the default figure sweep.
+     */
+    double offeredLoad = 0.0;
 };
 
 inline void
@@ -43,8 +149,10 @@ printUsage(std::FILE *out, const char *prog)
 {
     std::fprintf(out,
                  "usage: %s [--quick] [--seed N] [--jobs N] "
-                 "[--metrics-json FILE] [--trace-json FILE]\n",
-                 prog);
+                 "[--metrics-json FILE] [--trace-json FILE]\n"
+                 "       [--policy %s]\n"
+                 "       [--itr-ns N] [--offered-load X]\n",
+                 prog, policyUsageNames());
 }
 
 inline Options
@@ -88,6 +196,56 @@ parseArgs(int argc, char **argv)
                 std::exit(2);
             }
             opts.metricsJson = argv[++i];
+        } else if (std::strcmp(arg, "--policy") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --policy needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parsePolicyName(v, opts.policy)) {
+                std::fprintf(stderr,
+                             "%s: unknown --policy '%s' (expected "
+                             "%s)\n",
+                             argv[0], v, policyUsageNames());
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            opts.policyGiven = true;
+        } else if (std::strcmp(arg, "--itr-ns") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --itr-ns needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parseU64Strict(v, opts.itrNs)) {
+                std::fprintf(stderr,
+                             "%s: --itr-ns needs a non-negative "
+                             "integer, got '%s'\n",
+                             argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--offered-load") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --offered-load needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parsePositiveDouble(v, opts.offeredLoad)) {
+                std::fprintf(stderr,
+                             "%s: --offered-load needs a positive "
+                             "number, got '%s'\n",
+                             argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
         } else if (std::strcmp(arg, "--trace-json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,

@@ -8,10 +8,13 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "kv/server.hh"
 #include "obs/session.hh"
+#include "overload_util.hh"
 #include "stats/table.hh"
 
 using namespace xui;
@@ -25,12 +28,87 @@ const PreemptMode kModes[] = {PreemptMode::None,
 const char *kModeNames[] = {"No preemption", "UIPI SW Timer",
                             "xUI (KB+Track)"};
 
+/**
+ * Saturation frontier (--offered-load): push the open-loop offered
+ * load past saturation and compare the fixed 5us quantum against
+ * the load-adaptive quantum (--policy adaptive) on the xUI server.
+ */
+int
+runOverloadFrontier(const bench::Options &opts)
+{
+    bench::banner(
+        "RocksDB saturation frontier (overload survival)",
+        "fixed vs adaptive preemption quantum past saturation");
+
+    Cycles duration = (opts.quick ? 60 : 300) * kCyclesPerMs;
+    std::vector<std::string> policies;
+    if (opts.policyGiven)
+        policies = {opts.policy.name};
+    else
+        policies = {"off", "adaptive"};
+    std::vector<double> fracs = bench::loadLadder(opts.offeredLoad);
+
+    for (const std::string &policy : policies) {
+        bench::PolicyChoice pc;
+        bool ok = bench::parsePolicyName(policy.c_str(), pc);
+        (void)ok;
+        TablePrinter t("policy = " + policy +
+                       " (xUI KB timer, 1 worker core)");
+        t.setHeader({"Load (rps)", "GET p99 us", "SCAN p99 us",
+                     "Achieved rps", "Util"});
+        for (double frac : fracs) {
+            KvServerConfig cfg;
+            cfg.mode = PreemptMode::XuiKbTimer;
+            cfg.offeredLoadRps = frac * bench::kKvSaturationRps;
+            cfg.duration = duration;
+            cfg.seed = opts.seed;
+            bench::applyPolicy(cfg, pc);
+            KvServerResult r = runKvServer(cfg);
+            t.addRow(
+                {TablePrinter::num(cfg.offeredLoadRps, 0),
+                 TablePrinter::num(
+                     cyclesToUs(
+                         static_cast<Cycles>(r.getLatency.p99())),
+                     0),
+                 TablePrinter::num(
+                     cyclesToUs(
+                         static_cast<Cycles>(r.scanLatency.p99())),
+                     0),
+                 TablePrinter::num(r.achievedRps, 0),
+                 TablePrinter::percent(r.workerUtilization, 1)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // Observability run at the full overload point.
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    if (obs.enabled()) {
+        bench::PolicyChoice pc = opts.policy;
+        if (!opts.policyGiven)
+            bench::parsePolicyName("adaptive", pc);
+        KvServerConfig cfg;
+        cfg.mode = PreemptMode::XuiKbTimer;
+        cfg.offeredLoadRps =
+            opts.offeredLoad * bench::kKvSaturationRps;
+        cfg.duration = (opts.quick ? 20 : 100) * kCyclesPerMs;
+        cfg.seed = opts.seed;
+        cfg.metrics = obs.metrics();
+        cfg.traceOut = obs.trace();
+        bench::applyPolicy(cfg, pc);
+        runKvServer(cfg);
+    }
+    return obs.finish();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     auto opts = bench::parseArgs(argc, argv);
+    if (opts.offeredLoad > 0.0)
+        return runOverloadFrontier(opts);
     bench::banner(
         "Figure 7: Improving RocksDB throughput",
         "xUI paper, Fig. 7 (GET/SCAN p99 vs offered load, 5us "

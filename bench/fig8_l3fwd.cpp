@@ -6,21 +6,156 @@
  * 1/2/4/8 NIC queues, with the 16,000-entry DIR-24-8 LPM table.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "exec/sweep.hh"
 #include "net/l3fwd.hh"
 #include "obs/session.hh"
+#include "overload_util.hh"
 #include "stats/table.hh"
 
 using namespace xui;
+
+namespace
+{
+
+/**
+ * Saturation frontier (--offered-load): push the open-loop offered
+ * load up to `multiplier` x the core's forwarding capacity under
+ * each delivery policy and print the throughput-vs-tail frontier.
+ */
+int
+runOverloadFrontier(const bench::Options &opts)
+{
+    bench::banner(
+        "l3fwd saturation frontier (overload survival)",
+        "delivery policies and ITR moderation past saturation");
+
+    Cycles duration = (opts.quick ? 20 : 100) * kCyclesPerMs;
+    std::size_t routes = opts.quick ? 4000 : 16000;
+    std::vector<std::string> policies;
+    if (opts.policyGiven)
+        policies = {opts.policy.name};
+    else
+        policies = {"off", "next_or_missed_edge",
+                    "next_or_missed_level", "next_only_edge",
+                    "next_only_level", "moderated"};
+    std::vector<double> loads = bench::loadLadder(opts.offeredLoad);
+
+    struct Cell
+    {
+        L3FwdResult r;
+    };
+    std::vector<Cell> cells = exec::sweep(
+        policies.size() * loads.size(), opts.jobs,
+        [&](std::size_t idx) {
+            bench::PolicyChoice pc;
+            bool ok = bench::parsePolicyName(
+                policies[idx / loads.size()].c_str(), pc);
+            (void)ok;
+            L3FwdConfig cfg;
+            cfg.mode = RxMode::XuiForwarded;
+            cfg.numNics = 2;
+            cfg.duration = duration;
+            cfg.routeCount = routes;
+            cfg.load = loads[idx % loads.size()];
+            cfg.seed = opts.seed;
+            bench::applyPolicy(cfg, pc, opts.itrNs);
+            Cell cell;
+            cell.r = runL3Fwd(cfg);
+            return cell;
+        });
+
+    double off_peak = 0.0;
+    double moderated_at_max = 0.0;
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+        TablePrinter t("policy = " + policies[pi] +
+                       " (loads are fractions of capacity)");
+        t.setHeader({"Load", "Forwarded", "Dropped", "Mpps",
+                     "p50 us", "p95 us", "p99 us", "Coalesced",
+                     "Missed", "Recovered"});
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const L3FwdResult &r =
+                cells[pi * loads.size() + li].r;
+            if (policies[pi] == "off")
+                off_peak = std::max(off_peak, r.throughputMpps);
+            if (policies[pi] == "moderated" &&
+                li == loads.size() - 1)
+                moderated_at_max = r.throughputMpps;
+            t.addRow(
+                {TablePrinter::percent(loads[li], 0),
+                 TablePrinter::num(
+                     static_cast<double>(r.forwarded), 0),
+                 TablePrinter::num(
+                     static_cast<double>(r.dropped), 0),
+                 TablePrinter::num(r.throughputMpps, 3),
+                 TablePrinter::num(
+                     cyclesToUs(
+                         static_cast<Cycles>(r.latency.p50())),
+                     2),
+                 TablePrinter::num(
+                     cyclesToUs(
+                         static_cast<Cycles>(r.latency.p95())),
+                     2),
+                 TablePrinter::num(
+                     cyclesToUs(
+                         static_cast<Cycles>(r.latency.p99())),
+                     2),
+                 TablePrinter::num(
+                     static_cast<double>(r.coalesced), 0),
+                 TablePrinter::num(
+                     static_cast<double>(r.missed), 0),
+                 TablePrinter::num(
+                     static_cast<double>(r.missedRecovered), 0)});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    if (off_peak > 0.0 && moderated_at_max > 0.0) {
+        std::cout << "moderated @" << opts.offeredLoad
+                  << "x load: " << moderated_at_max
+                  << " Mpps vs unmoderated peak " << off_peak
+                  << " Mpps ("
+                  << (moderated_at_max >= off_peak
+                          ? "sustains the peak"
+                          : "BELOW the unmoderated peak")
+                  << ")\n";
+    }
+
+    // Observability run at the full overload point under the
+    // selected (or moderated) policy.
+    ObsSession obs(opts.metricsJson, opts.traceJson);
+    if (obs.enabled()) {
+        bench::PolicyChoice pc = opts.policy;
+        if (!opts.policyGiven)
+            bench::parsePolicyName("moderated", pc);
+        L3FwdConfig cfg;
+        cfg.mode = RxMode::XuiForwarded;
+        cfg.numNics = 2;
+        cfg.load = opts.offeredLoad;
+        cfg.duration = (opts.quick ? 10 : 40) * kCyclesPerMs;
+        cfg.routeCount = opts.quick ? 2000 : routes;
+        cfg.seed = opts.seed;
+        cfg.metrics = obs.metrics();
+        cfg.traceOut = obs.trace();
+        bench::applyPolicy(cfg, pc, opts.itrNs);
+        runL3Fwd(cfg);
+    }
+    return obs.finish();
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     auto opts = bench::parseArgs(argc, argv);
+    if (opts.offeredLoad > 0.0)
+        return runOverloadFrontier(opts);
     bench::banner("Figure 8: Improving l3fwd efficiency",
                   "xUI paper, Fig. 8 (free cycles and latency vs "
                   "load, 1/2/4/8 NICs)");

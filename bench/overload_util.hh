@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared saturation-frontier helpers for the overload sections of
+ * fig7 (KV server) and fig8 (l3fwd), and for tools/bench_overload:
+ * mapping a parsed `--policy` choice onto the workload configs, the
+ * load ladders, and the nominal saturation points. Keeping the
+ * mapping in one place guarantees the benches and the reference
+ * generator measure the same configurations.
+ */
+
+#ifndef XUI_BENCH_OVERLOAD_UTIL_HH
+#define XUI_BENCH_OVERLOAD_UTIL_HH
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "kv/server.hh"
+#include "net/l3fwd.hh"
+
+namespace xui::bench
+{
+
+/** Nominal fig7 saturation (requests/s) the load ladder scales. */
+constexpr double kKvSaturationRps = 250000.0;
+
+/** Moderation default when --itr-ns is not given. */
+constexpr std::uint64_t kDefaultItrNs = 1000;
+
+/** Nanoseconds -> cycles at the simulator's 2 GHz clock. */
+inline Cycles
+nsToCyclesBench(std::uint64_t ns)
+{
+    return static_cast<Cycles>(ns) * kCyclesPerUs / 1000;
+}
+
+/** The moderation params a bench uses for `--policy moderated`. */
+inline ModerationParams
+moderationFor(std::uint64_t itr_ns)
+{
+    if (itr_ns == 0)
+        itr_ns = kDefaultItrNs;
+    ModerationParams m;
+    m.itr = nsToCyclesBench(itr_ns);
+    m.coalesceWindow = m.itr / 2;
+    return m;
+}
+
+/**
+ * Apply a policy choice to an l3fwd config. `adaptive` names a
+ * runtime (fig7) mechanism and leaves l3fwd at the legacy path.
+ */
+inline void
+applyPolicy(L3FwdConfig &cfg, const PolicyChoice &choice,
+            std::uint64_t itr_ns)
+{
+    if (!choice.enabled)
+        return;
+    if (choice.moderated) {
+        cfg.moderation = moderationFor(itr_ns);
+        return;
+    }
+    if (choice.adaptive)
+        return;
+    cfg.policyEnabled = true;
+    cfg.policy = choice.policy;
+}
+
+/**
+ * Apply a policy choice to a KV-server config. Only `adaptive` maps
+ * onto the runtime; the NIC-side policies leave fig7 at the legacy
+ * path. The adaptive watermarks sit just above/below the nominal
+ * saturation arrival rate so the quantum tightens exactly when the
+ * server crosses into overload.
+ */
+inline void
+applyPolicy(KvServerConfig &cfg, const PolicyChoice &choice)
+{
+    if (!choice.enabled || !choice.adaptive)
+        return;
+    AdaptiveQuantumConfig a;
+    a.window = usToCycles(100);
+    // kKvSaturationRps = 25 arrivals / 100us window.
+    a.highWatermark = 28;
+    a.lowWatermark = 15;
+    a.tightQuantum = cfg.quantum / 4;
+    cfg.adaptive = a;
+}
+
+/** The frontier's load ladder: fractions of the saturation point up
+ *  to the `--offered-load` multiplier. */
+inline std::vector<double>
+loadLadder(double multiplier)
+{
+    return {0.2 * multiplier, 0.4 * multiplier, 0.6 * multiplier,
+            0.8 * multiplier, multiplier};
+}
+
+} // namespace xui::bench
+
+#endif // XUI_BENCH_OVERLOAD_UTIL_HH

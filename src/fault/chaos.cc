@@ -25,6 +25,8 @@ const char *const kScenarioNames[kNumScenarios] = {
     "forwarding_storm",
     "sender_retry",
     "interval_signals",
+    "coalesce_drop",
+    "itr_misfire",
 };
 
 std::uint64_t
@@ -254,6 +256,72 @@ buildIntervalSignals(Cell &c)
     }
 }
 
+/**
+ * Moderated UIPI stream whose flush events the fault fabric drops
+ * mid-window (Site::ModerationFlush). Dense bursts keep a coalescing
+ * window open most of the run, so a dropped flush strands a whole
+ * batch in the PIR — which must then come back via the recovery
+ * rescan or the resume drain, never be silently lost.
+ */
+void
+buildCoalesceDrop(Cell &c)
+{
+    std::uint8_t vec =
+        static_cast<std::uint8_t>(1 + c.rng.nextBounded(3));
+    ThreadId recv = c.makeReceiver(1);
+    int idx = c.kernel.registerSender(recv, vec);
+    assert(idx >= 0);
+    ModerationParams mp;
+    mp.itr = 300 + c.rng.nextBounded(700);
+    mp.coalesceWindow = mp.itr / 2;
+    c.kernel.setModeration(recv, vec, mp);
+
+    for (Cycles t : drawTimes(c.rng, 3, c.cfg.horizon * 3 / 4)) {
+        Cycles len = 200 + c.rng.nextBounded(1800);
+        c.sim.queue().scheduleAt(t, [&c, recv, len] {
+            c.openWindow(recv, 1, len);
+        });
+    }
+    for (Cycles t : drawTimes(c.rng, 64, c.cfg.horizon * 3 / 4)) {
+        c.sim.queue().scheduleAt(t, [&c, recv, idx] {
+            c.maybeFaultWindow(recv, 1);
+            c.kernel.senduipi(idx);
+        });
+    }
+}
+
+/**
+ * Heavy ITR suppression (no coalescing window, long gaps) with the
+ * fault fabric delaying flushes and the receiver bouncing through
+ * deschedule windows: flushes misfire against a parked receiver and
+ * the batch has to ride the resume drain.
+ */
+void
+buildItrMisfire(Cell &c)
+{
+    std::uint8_t vec =
+        static_cast<std::uint8_t>(1 + c.rng.nextBounded(3));
+    ThreadId recv = c.makeReceiver(1);
+    int idx = c.kernel.registerSender(recv, vec);
+    assert(idx >= 0);
+    ModerationParams mp;
+    mp.itr = 1500 + c.rng.nextBounded(2500);
+    c.kernel.setModeration(recv, vec, mp);
+
+    for (Cycles t : drawTimes(c.rng, 6, c.cfg.horizon * 3 / 4)) {
+        Cycles len = 400 + c.rng.nextBounded(2400);
+        c.sim.queue().scheduleAt(t, [&c, recv, len] {
+            c.openWindow(recv, 1, len);
+        });
+    }
+    for (Cycles t : drawTimes(c.rng, 48, c.cfg.horizon * 3 / 4)) {
+        c.sim.queue().scheduleAt(t, [&c, recv, idx] {
+            c.maybeFaultWindow(recv, 1);
+            c.kernel.senduipi(idx);
+        });
+    }
+}
+
 void
 buildScenario(Cell &c)
 {
@@ -272,6 +340,12 @@ buildScenario(Cell &c)
         return;
       case ScenarioKind::IntervalSignals:
         buildIntervalSignals(c);
+        return;
+      case ScenarioKind::CoalesceDrop:
+        buildCoalesceDrop(c);
+        return;
+      case ScenarioKind::ItrMisfire:
+        buildItrMisfire(c);
         return;
       case ScenarioKind::kCount:
         break;
@@ -347,6 +421,15 @@ runCell(const CellConfig &cfg)
     res.delivered = cell.ledger.delivered();
     res.abandoned = cell.ledger.abandoned();
     res.spuriousScans = cell.ledger.spuriousScans();
+    res.coalescedSatisfied = cell.ledger.coalescedSatisfied();
+    res.modCoalesced =
+        counterValue(cell.metrics, "kernel.moderation.coalesced");
+    res.modFlushes =
+        counterValue(cell.metrics, "kernel.moderation.flushes");
+    res.modFlushDropped = counterValue(
+        cell.metrics, "kernel.moderation.flush_dropped");
+    res.modFlushDelayed = counterValue(
+        cell.metrics, "kernel.moderation.flush_delayed");
     res.injected = cell.inj.injected();
     res.handlerRuns = cell.handlerRuns;
     res.recoveredRescan =
@@ -409,8 +492,17 @@ runGrid(const GridConfig &cfg)
             CellConfig cc;
             cc.kind = rep.kind;
             cc.seed = rep.seed;
+            // The moderation scenarios aim faults at the flush
+            // event; other kinds keep the base option set, so their
+            // generated schedules stay byte-identical to before the
+            // moderation sites existed.
+            fault::ScheduleOptions so = cfg.schedule;
+            if (rep.kind == ScenarioKind::CoalesceDrop)
+                so.dropModerationFlush = true;
+            if (rep.kind == ScenarioKind::ItrMisfire)
+                so.delayModerationFlush = true;
             cc.schedule = fault::generateSchedule(
-                cellScheduleSeed(rep.kind, rep.seed), cfg.schedule);
+                cellScheduleSeed(rep.kind, rep.seed), so);
             cc.recovery = cfg.recovery;
             cc.finalDrain = cfg.finalDrain;
             cc.horizon = cfg.horizon;

@@ -44,6 +44,13 @@ enum class ScenarioKind : std::uint8_t
     SenderRetry,
     /** setitimer signals with SIGALRM collapse semantics. */
     IntervalSignals,
+    /** ITR+coalescing moderation with flush events lost mid-window
+     *  (Site::ModerationFlush drops): the batch must survive via
+     *  rescan/resume-drain, never silently. */
+    CoalesceDrop,
+    /** Heavy ITR suppression with delayed flushes racing deschedule
+     *  windows: flushes misfire against a parked receiver. */
+    ItrMisfire,
     kCount,
 };
 
@@ -90,6 +97,14 @@ struct CellResult
     std::uint64_t delivered = 0;
     std::uint64_t abandoned = 0;
     std::uint64_t spuriousScans = 0;
+    /** Posts satisfied by a delivery that covered a batch. */
+    std::uint64_t coalescedSatisfied = 0;
+
+    // Moderation counters (kernel.moderation.*; zero without it).
+    std::uint64_t modCoalesced = 0;
+    std::uint64_t modFlushes = 0;
+    std::uint64_t modFlushDropped = 0;
+    std::uint64_t modFlushDelayed = 0;
 
     /** Fault directives that matched a consult. */
     std::uint64_t injected = 0;

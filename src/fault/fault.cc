@@ -13,6 +13,7 @@ namespace
 constexpr const char *kSiteNames[] = {
     "notify_ipi", "kbtimer_fire", "kbtimer_poll",
     "forward_dispatch", "deschedule", "raise_uarch",
+    "moderation_flush",
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
               kNumSites);
@@ -172,6 +173,10 @@ generateSchedule(std::uint64_t seed, const ScheduleOptions &opts)
         classes.push_back({Site::ForwardDispatch, Action::Delay});
     if (opts.descheduleWindow)
         classes.push_back({Site::Deschedule, Action::Delay});
+    if (opts.dropModerationFlush)
+        classes.push_back({Site::ModerationFlush, Action::Drop});
+    if (opts.delayModerationFlush)
+        classes.push_back({Site::ModerationFlush, Action::Delay});
 
     Schedule sched;
     if (classes.empty())

@@ -50,6 +50,8 @@ enum class Site : std::uint8_t
     Deschedule,
     /** InterruptUnit::raise on the uarch tier. */
     RaiseUarch,
+    /** A scheduled moderation-window flush is about to deliver. */
+    ModerationFlush,
     kCount,
 };
 
@@ -141,6 +143,11 @@ struct ScheduleOptions
     bool dropForward = true;
     bool delayForward = true;
     bool descheduleWindow = true;
+    // Moderation-flush faults only make sense against a kernel with
+    // moderation configured, so they default off: every schedule
+    // generated before this layer existed stays byte-identical.
+    bool dropModerationFlush = false;
+    bool delayModerationFlush = false;
 };
 
 /**

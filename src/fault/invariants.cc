@@ -60,7 +60,10 @@ DeliveryLedger::onDelivered(std::uint64_t key)
     ++e.delivered;
     ++delivered_;
     // One delivery satisfies every post that preceded it (PIR /
-    // DUPID / pending-signal coalescing).
+    // DUPID / pending-signal coalescing). The extras are accounted
+    // as coalesced-into-this-delivery, not lost.
+    if (e.outstanding > 1)
+        coalescedSatisfied_ += e.outstanding - 1;
     e.outstanding = 0;
     // Record eagerly: a later post would otherwise mask the phantom.
     if (e.delivered > e.posted)
@@ -78,6 +81,25 @@ DeliveryLedger::onAbandoned(std::uint64_t key)
     ++e.abandoned;
     e.outstanding = 0;
     ++abandoned_;
+}
+
+void
+DeliveryLedger::onAbandonedOne(std::uint64_t key)
+{
+    Entry &e = entries_[key];
+    ++e.abandoned;
+    if (e.outstanding > 0)
+        --e.outstanding;
+    ++abandoned_;
+}
+
+std::uint64_t
+DeliveryLedger::outstanding() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[key, e] : entries_)
+        n += e.outstanding;
+    return n;
 }
 
 std::vector<std::string>

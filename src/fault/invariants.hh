@@ -72,6 +72,14 @@ class DeliveryLedger
      */
     void onAbandoned(std::uint64_t key);
 
+    /**
+     * Exactly one post was intentionally dropped (NEXT_ONLY: the
+     * post never reached the pending state). Unlike onAbandoned it
+     * leaves earlier posts outstanding — they are still pending for
+     * a later delivery to consume.
+     */
+    void onAbandonedOne(std::uint64_t key);
+
     /** A notification scan found nothing pending (allowed; counted). */
     void onSpuriousScan() { ++spuriousScans_; }
 
@@ -79,6 +87,24 @@ class DeliveryLedger
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t abandoned() const { return abandoned_; }
     std::uint64_t spuriousScans() const { return spuriousScans_; }
+
+    /**
+     * Posts satisfied by a delivery they shared with earlier posts
+     * (PIR / DUPID / moderation-window coalescing): each delivery
+     * that finds k>1 outstanding posts adds k-1 here. The
+     * generalized no-loss invariant is then
+     *   posted == (delivered's own posts) + coalescedSatisfied
+     *           + abandoned + outstanding
+     * i.e. every post is delivered, coalesced into a delivery, or
+     * explicitly abandoned — never silently lost.
+     */
+    std::uint64_t coalescedSatisfied() const
+    {
+        return coalescedSatisfied_;
+    }
+
+    /** Posts not yet covered by any delivery/abandonment. */
+    std::uint64_t outstanding() const;
 
     /**
      * Evaluate the invariants over everything recorded so far.
@@ -107,6 +133,7 @@ class DeliveryLedger
     std::uint64_t delivered_ = 0;
     std::uint64_t abandoned_ = 0;
     std::uint64_t spuriousScans_ = 0;
+    std::uint64_t coalescedSatisfied_ = 0;
 };
 
 } // namespace xui::fault

@@ -1,0 +1,30 @@
+#include "intr/policy.hh"
+
+namespace xui
+{
+
+const char *
+deliveryBehaviorName(DeliveryBehavior b)
+{
+    switch (b) {
+      case DeliveryBehavior::NextOrMissed:
+        return "next_or_missed";
+      case DeliveryBehavior::NextOnly:
+        return "next_only";
+    }
+    return "?";
+}
+
+const char *
+triggerModeName(TriggerMode t)
+{
+    switch (t) {
+      case TriggerMode::Edge:
+        return "edge";
+      case TriggerMode::Level:
+        return "level";
+    }
+    return "?";
+}
+
+} // namespace xui

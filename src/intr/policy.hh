@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Delivery policies and interrupt moderation for the notification
+ * channels.
+ *
+ * Real user-interrupt drivers expose two orthogonal knobs that the
+ * baseline protocol leaves implicit:
+ *
+ *  - DeliveryBehavior (imsar user-interrupt driver semantics):
+ *    NEXT_OR_MISSED remembers posts that arrive while the receiver
+ *    is descheduled and delivers them on resume (the UPID slow path
+ *    — the protocol default); NEXT_ONLY delivers only interrupts
+ *    that arrive while the receiver can take them, and missed ones
+ *    are dropped by design (accounted as abandoned, never lost).
+ *
+ *  - TriggerMode: Edge notifies only on the ON 0->1 transition (one
+ *    IPI per batch of posts — the UPID default); Level re-triggers a
+ *    scan whenever a post finds pending state already set, which
+ *    costs redundant scans but self-heals a dropped notification
+ *    without waiting for the rescan backoff.
+ *
+ * On top of either behavior sits hardware-style interrupt
+ * moderation (NIC ITR registers): a per-vector minimum gap between
+ * notifications plus a coalescing window that batches every post in
+ * the window into a single delivery. The VectorModerator is a pure
+ * state machine — the kernel owns the clock and the flush event, so
+ * the moderator schedules nothing and stays deterministic.
+ *
+ * Everything here defaults to off: an unconfigured vector takes the
+ * exact legacy path, bit-identical to a build without this layer.
+ */
+
+#ifndef XUI_INTR_POLICY_HH
+#define XUI_INTR_POLICY_HH
+
+#include <cstdint>
+
+#include "des/time.hh"
+
+namespace xui
+{
+
+/** What happens to posts that arrive while the receiver can't run
+ *  the handler (imsar NEXT_ONLY vs NEXT_OR_MISSED). */
+enum class DeliveryBehavior : std::uint8_t
+{
+    /** Posts while descheduled are parked and drained on resume. */
+    NextOrMissed,
+    /** Posts while descheduled are missed (abandoned by design). */
+    NextOnly,
+};
+
+/** When the notification is (re)raised relative to pending state. */
+enum class TriggerMode : std::uint8_t
+{
+    /** Notify only on the ON 0->1 transition (UPID default). */
+    Edge,
+    /** Pending state re-triggers a scan on every post. */
+    Level,
+};
+
+/** Per-vector delivery policy. The default is the legacy protocol. */
+struct DeliveryPolicy
+{
+    DeliveryBehavior behavior = DeliveryBehavior::NextOrMissed;
+    TriggerMode trigger = TriggerMode::Edge;
+};
+
+const char *deliveryBehaviorName(DeliveryBehavior b);
+const char *triggerModeName(TriggerMode t);
+
+/** ITR-style moderation knobs. Zero values disable each mechanism. */
+struct ModerationParams
+{
+    /** Minimum gap between notifications (ITR register). */
+    Cycles itr = 0;
+    /** Posts within this window of the first batch into one
+     *  notification (0 = deliver the first post immediately). */
+    Cycles coalesceWindow = 0;
+
+    bool enabled() const { return itr != 0 || coalesceWindow != 0; }
+};
+
+/**
+ * Per-vector moderation state machine. The caller consults onPost()
+ * for every post, schedules a flush event when told to, and calls
+ * onFlush() when that event fires. cancelFlush() models a flush
+ * event lost to fault injection: pending posts stay parked for the
+ * recovery/resume paths and later posts re-arm a fresh window.
+ */
+class VectorModerator
+{
+  public:
+    explicit VectorModerator(ModerationParams params)
+        : params_(params)
+    {
+    }
+
+    /** What the kernel should do with the post it just made. */
+    enum class Verdict : std::uint8_t
+    {
+        /** Notify now (ITR gap satisfied, no window configured). */
+        Deliver,
+        /** First post of a batch: schedule a flush at flushAt(). */
+        OpenWindow,
+        /** A flush is already scheduled; this post rides along. */
+        Coalesced,
+    };
+
+    /** Account a post at `now` and decide the notification's fate. */
+    Verdict onPost(Cycles now)
+    {
+        ++posts_;
+        if (flushPending_) {
+            ++pendingPosts_;
+            return Verdict::Coalesced;
+        }
+        if (params_.itr != 0 && now < nextAllowed_) {
+            // ITR suppression: batch until the gap expires (and at
+            // least a full coalescing window from this post).
+            flushPending_ = true;
+            flushAt_ = nextAllowed_;
+            if (params_.coalesceWindow != 0 &&
+                now + params_.coalesceWindow > flushAt_)
+                flushAt_ = now + params_.coalesceWindow;
+            pendingPosts_ = 1;
+            return Verdict::OpenWindow;
+        }
+        if (params_.itr == 0 && params_.coalesceWindow != 0) {
+            // Pure coalescer (no rate limit): every batch starts
+            // with a full window.
+            flushPending_ = true;
+            flushAt_ = now + params_.coalesceWindow;
+            pendingPosts_ = 1;
+            return Verdict::OpenWindow;
+        }
+        // ITR gap satisfied: the first event of a burst notifies
+        // immediately (NIC ITR semantics), the gap starts now.
+        nextAllowed_ = now + params_.itr;
+        return Verdict::Deliver;
+    }
+
+    /**
+     * The scheduled flush event fired: one notification now covers
+     * every pending post. Starts the next ITR gap.
+     * @return the number of posts the notification covers.
+     */
+    std::uint64_t onFlush(Cycles now)
+    {
+        std::uint64_t n = pendingPosts_;
+        flushPending_ = false;
+        pendingPosts_ = 0;
+        nextAllowed_ = now + params_.itr;
+        return n;
+    }
+
+    /** The scheduled flush was lost (fault injection). */
+    std::uint64_t cancelFlush()
+    {
+        std::uint64_t n = pendingPosts_;
+        flushPending_ = false;
+        pendingPosts_ = 0;
+        return n;
+    }
+
+    bool flushPending() const { return flushPending_; }
+    Cycles flushAt() const { return flushAt_; }
+    std::uint64_t posts() const { return posts_; }
+    const ModerationParams &params() const { return params_; }
+
+  private:
+    ModerationParams params_;
+    bool flushPending_ = false;
+    Cycles flushAt_ = 0;
+    Cycles nextAllowed_ = 0;
+    /** Posts covered by the currently scheduled flush. */
+    std::uint64_t pendingPosts_ = 0;
+    std::uint64_t posts_ = 0;
+};
+
+} // namespace xui
+
+#endif // XUI_INTR_POLICY_HH

@@ -21,6 +21,11 @@ runKvServer(const KvServerConfig &config)
     store.preload();
     Runtime runtime(sim, config.costs, config.workerCores,
                     config.mode, config.quantum);
+    if (config.adaptive.enabled()) {
+        runtime.setAdaptiveQuantum(config.adaptive);
+        if (config.metrics != nullptr)
+            runtime.attachMetrics(*config.metrics);
+    }
     KvLoadGen gen(config.workload, config.offeredLoadRps,
                   sim.makeRng());
 

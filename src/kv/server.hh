@@ -29,6 +29,13 @@ struct KvServerConfig
     CostModel costs;
     PreemptMode mode = PreemptMode::XuiKbTimer;
     Cycles quantum = usToCycles(5);
+    /**
+     * Optional adaptive quantum: tighten the preemption interval
+     * while the arrival rate crosses the high watermark (see
+     * AdaptiveQuantumConfig). Disabled by default — the run is then
+     * bit-identical to a fixed-quantum server.
+     */
+    AdaptiveQuantumConfig adaptive{};
     unsigned workerCores = 1;
     double offeredLoadRps = 50000.0;
     /** Simulated duration. */

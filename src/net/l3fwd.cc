@@ -22,20 +22,96 @@ L3Fwd::L3Fwd(const L3FwdConfig &config)
         nics_.push_back(std::make_unique<Nic>(config_.queueDepth));
 
     if (config_.mode == RxMode::XuiForwarded) {
+        mods_.resize(config_.numNics);
+        if (config_.moderation.enabled()) {
+            for (unsigned i = 0; i < config_.numNics; ++i)
+                mods_[i] = std::make_unique<VectorModerator>(
+                    config_.moderation);
+        }
         for (unsigned i = 0; i < config_.numNics; ++i) {
             nics_[i]->armInterrupt(true);
-            nics_[i]->setInterruptHandler([this] {
-                if (handling_)
-                    return;  // UIF clear: handler already running
-                handling_ = true;
-                ++result_.interrupts;
-                notificationCycles_ +=
-                    config_.costs.forwardedReceive;
-                sim_.queue().scheduleAfter(
-                    config_.costs.forwardedReceive,
-                    [this] { serviceLoop(); });
-            });
+            nics_[i]->setInterruptHandler(
+                [this, i] { onNicInterrupt(i); });
         }
+    }
+}
+
+bool
+L3Fwd::anyPending() const
+{
+    for (const auto &nic : nics_)
+        if (!nic->queueEmpty())
+            return true;
+    return false;
+}
+
+void
+L3Fwd::fireService()
+{
+    handling_ = true;
+    ++result_.interrupts;
+    notificationCycles_ += config_.costs.forwardedReceive;
+    sim_.queue().scheduleAfter(config_.costs.forwardedReceive,
+                               [this] { serviceLoop(); });
+}
+
+void
+L3Fwd::onNicInterrupt(unsigned nic)
+{
+    if (handling_)
+        return;  // UIF clear: handler already running
+    if (mods_[nic] != nullptr) {
+        switch (mods_[nic]->onPost(sim_.now())) {
+          case VectorModerator::Verdict::Coalesced:
+            ++result_.coalesced;
+            return;
+          case VectorModerator::Verdict::OpenWindow: {
+            ++result_.suppressedWindows;
+            Cycles delay = mods_[nic]->flushAt() - sim_.now();
+            sim_.queue().scheduleAfter(
+                delay == 0 ? 1 : delay,
+                [this, nic] { moderationFlush(nic); });
+            return;
+          }
+          case VectorModerator::Verdict::Deliver:
+            break;
+        }
+    }
+    fireService();
+}
+
+void
+L3Fwd::moderationFlush(unsigned nic)
+{
+    if (mods_[nic] == nullptr || !mods_[nic]->flushPending())
+        return;
+    mods_[nic]->onFlush(sim_.now());
+    if (handling_)
+        return;  // the running service loop drains every queue
+    if (!anyPending())
+        return;  // drained before the window closed
+    fireService();
+}
+
+void
+L3Fwd::rearmDone()
+{
+    handling_ = false;
+    if (!anyPending())
+        return;
+    // Packets arrived inside the rearm race window, so their RX
+    // edge never reached the core.
+    if (config_.policy.behavior == DeliveryBehavior::NextOrMissed ||
+        config_.policy.trigger == TriggerMode::Level) {
+        // Driver rechecks the descriptor rings after rearming
+        // (NAPI-style): the missed wakeup is recovered.
+        ++result_.missedRecovered;
+        fireService();
+    } else {
+        // NEXT_ONLY + edge: the wakeup is gone. The queue strands
+        // until another edge (a different NIC, or this queue
+        // emptying by drops and refilling) rescues it.
+        ++result_.missed;
     }
 }
 
@@ -55,7 +131,18 @@ L3Fwd::nextQueue()
 void
 L3Fwd::onArrival(unsigned nic, Packet pkt)
 {
+    bool was_empty = nics_[nic]->queueEmpty();
     nics_[nic]->deliver(pkt);
+    // Level trigger: pending packets re-raise the interrupt even
+    // without an empty->non-empty RX edge, so a stranded queue
+    // self-heals on the next arrival.
+    if (config_.mode == RxMode::XuiForwarded &&
+        config_.policyEnabled &&
+        config_.policy.trigger == TriggerMode::Level &&
+        !was_empty && !handling_) {
+        ++result_.levelRedeliveries;
+        onNicInterrupt(nic);
+    }
     if (config_.mode == RxMode::Polling && !serviceActive_) {
         serviceActive_ = true;
         // Detection latency: the spin loop notices the descriptor on
@@ -86,6 +173,15 @@ L3Fwd::serviceLoop()
         // All queues empty: polling keeps spinning (accounted as
         // polling cycles); the xUI handler rearms and returns.
         serviceActive_ = false;
+        if (config_.mode == RxMode::XuiForwarded &&
+            config_.policyEnabled) {
+            // The rearm write races arriving edges: the handler
+            // stays masked for the gap, then the policy decides
+            // what happens to anything that landed meanwhile.
+            sim_.queue().scheduleAfter(config_.rearmGap,
+                                       [this] { rearmDone(); });
+            return;
+        }
         handling_ = false;
         return;
     }
@@ -188,6 +284,17 @@ L3Fwd::run()
         r.gauge("l3fwd.throughput_mpps")
             .set(result_.throughputMpps);
         r.gauge("l3fwd.free_frac").set(result_.freeFrac);
+        if (config_.policyEnabled || config_.moderation.enabled()) {
+            r.counter("l3fwd.policy.coalesced")
+                .inc(result_.coalesced);
+            r.counter("l3fwd.policy.suppressed_windows")
+                .inc(result_.suppressedWindows);
+            r.counter("l3fwd.policy.missed").inc(result_.missed);
+            r.counter("l3fwd.policy.missed_recovered")
+                .inc(result_.missedRecovered);
+            r.counter("l3fwd.policy.level_redeliver")
+                .inc(result_.levelRedeliveries);
+        }
     }
     return result_;
 }

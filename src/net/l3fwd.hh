@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "des/simulation.hh"
+#include "intr/policy.hh"
 #include "net/lpm.hh"
 #include "net/packet.hh"
 #include "net/traffic.hh"
@@ -58,6 +59,25 @@ struct L3FwdConfig
     /** Optional observability sinks (null = off, zero cost). */
     MetricsRegistry *metrics = nullptr;
     TraceJsonWriter *traceOut = nullptr;
+
+    // ----- delivery policy & moderation (XuiForwarded only) ------
+    /**
+     * When set, model the interrupt rearm race explicitly: leaving
+     * the service loop takes `rearmGap` cycles during which RX
+     * edges cannot raise the handler. NEXT_ONLY + edge misses those
+     * wakeups outright (the queue strands until another NIC's edge
+     * rescues it — the failure mode NEXT_OR_MISSED exists to fix);
+     * NEXT_OR_MISSED rechecks the queues after the rearm; level
+     * trigger additionally refires on any arrival that finds
+     * pending packets with the handler idle. Off (the default) the
+     * run is bit-identical to the pre-policy model.
+     */
+    bool policyEnabled = false;
+    DeliveryPolicy policy{};
+    /** Rearm race window (cycles), used when policyEnabled. */
+    Cycles rearmGap = 100;
+    /** Per-NIC ITR moderation (disabled params = off). */
+    ModerationParams moderation{};
 };
 
 /** Results of one l3fwd run. */
@@ -75,6 +95,18 @@ struct L3FwdResult
     double notificationFrac = 0.0;
     double freeFrac = 0.0;
     double throughputMpps = 0.0;
+
+    // Delivery-policy / moderation outcomes (zero when off).
+    /** Interrupts batched into an already-pending flush. */
+    std::uint64_t coalesced = 0;
+    /** Flush windows opened (notifications deferred). */
+    std::uint64_t suppressedWindows = 0;
+    /** NEXT_ONLY wakeups missed in the rearm gap. */
+    std::uint64_t missed = 0;
+    /** NEXT_OR_MISSED post-rearm recheck recoveries. */
+    std::uint64_t missedRecovered = 0;
+    /** Level-trigger refires without an RX edge. */
+    std::uint64_t levelRedeliveries = 0;
 };
 
 /** The l3fwd application simulation. */
@@ -94,12 +126,24 @@ class L3Fwd
     void serviceLoop();
     /** Pick the next non-empty queue round-robin; -1 when idle. */
     int nextQueue();
+    /** Any RX queue holds packets. */
+    bool anyPending() const;
+    /** An RX interrupt reached the core (edge or level refire). */
+    void onNicInterrupt(unsigned nic);
+    /** Pay the notification cost and enter the service loop. */
+    void fireService();
+    /** A scheduled moderation flush fires for one NIC. */
+    void moderationFlush(unsigned nic);
+    /** The post-service interrupt rearm window closed. */
+    void rearmDone();
 
     L3FwdConfig config_;
     Simulation sim_;
     LpmTable table_;
     std::vector<RouteSpec> routes_;
     std::vector<std::unique_ptr<Nic>> nics_;
+    /** Per-NIC moderators (null = unmoderated). */
+    std::vector<std::unique_ptr<VectorModerator>> mods_;
     Rng rng_;
 
     bool serviceActive_ = false;

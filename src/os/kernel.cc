@@ -82,6 +82,7 @@ Kernel::drainParked(ThreadId id)
 {
     Thread &t = thread(id);
     unsigned delivered = 0;
+    inResumeDrain_ = true;
     // UIPI slow path: interrupts posted to the UPID while the thread
     // was descheduled are reposted as self-UIPIs on resume (§3.2).
     if (t.hasUpid && t.upid.hasPending())
@@ -96,9 +97,14 @@ Kernel::drainParked(ThreadId id)
                 t.handler(v);
             if (ledger_ != nullptr)
                 ledger_->onDelivered(fwdKey(id, v));
+            const DeliveryPolicy *p = policyFor(t, v);
+            if (p != nullptr &&
+                p->behavior == DeliveryBehavior::NextOrMissed)
+                bump(mModMissedThenDelivered_);
             ++delivered;
         }
     }
+    inResumeDrain_ = false;
     return delivered;
 }
 
@@ -115,6 +121,12 @@ Kernel::scanUpid(ThreadId id)
                 t.handler(v);
             if (ledger_ != nullptr)
                 ledger_->onDelivered(uipiKey(id, v));
+            if (inResumeDrain_) {
+                const DeliveryPolicy *p = policyFor(t, v);
+                if (p != nullptr &&
+                    p->behavior == DeliveryBehavior::NextOrMissed)
+                    bump(mModMissedThenDelivered_);
+            }
             ++delivered;
         }
     }
@@ -296,16 +308,68 @@ Kernel::senduipi(int uitt_index)
     auto it = upidOwner_.find(entry->upid);
     assert(it != upidOwner_.end());
     ThreadId tid = it->second;
+    unsigned uv = entry->userVector;
 
-    Upid::PostResult result = entry->upid->post(entry->userVector);
+    Thread &t = thread(tid);
+    const DeliveryPolicy *policy = policyFor(t, uv);
+
+    // NEXT_ONLY: a post toward a receiver that can't take it is
+    // missed by design — it never reaches the PIR, and the ledger
+    // accounts it as an intended miss (posted + abandoned).
+    if (policy != nullptr &&
+        policy->behavior == DeliveryBehavior::NextOnly &&
+        !t.running) {
+        if (ledger_ != nullptr) {
+            ledger_->onPosted(uipiKey(tid, uv));
+            ledger_->onAbandonedOne(uipiKey(tid, uv));
+        }
+        bump(mModMissed_);
+        return DeliveryPath::Suppressed;
+    }
+
+    Upid::PostResult result = entry->upid->post(uv);
     if (ledger_ != nullptr)
-        ledger_->onPosted(uipiKey(tid, entry->userVector));
+        ledger_->onPosted(uipiKey(tid, uv));
+
+    // Moderation gates only the notification: the post is already
+    // in the PIR, so the eventual flush scan delivers the batch.
+    if (t.running && !t.moderators.empty()) {
+        auto mit = t.moderators.find(uv);
+        if (mit != t.moderators.end()) {
+            switch (mit->second.onPost(sim_.now())) {
+              case VectorModerator::Verdict::Coalesced:
+                bump(mModCoalesced_);
+                return DeliveryPath::Deferred;
+              case VectorModerator::Verdict::OpenWindow: {
+                bump(mModSuppressed_);
+                Cycles delay = mit->second.flushAt() - sim_.now();
+                sim_.queue().scheduleAfter(
+                    delay == 0 ? 1 : delay, [this, tid, uv] {
+                        moderationFlush(tid, uv);
+                    });
+                return DeliveryPath::Deferred;
+              }
+              case VectorModerator::Verdict::Deliver:
+                break;
+            }
+        }
+    }
+
     if (!result.sendIpi) {
+        // Level trigger: pending state re-raises the notification
+        // even without an ON 0->1 edge, so a post that finds a
+        // stranded PIR (e.g. after a dropped IPI) rescans now
+        // instead of waiting for the recovery backoff.
+        if (policy != nullptr &&
+            policy->trigger == TriggerMode::Level && t.running) {
+            bump(mModLevelRedeliver_);
+            scanUpid(tid);
+            return DeliveryPath::Fast;
+        }
         bump(mUipiSuppressed_);
         return DeliveryPath::Suppressed;
     }
 
-    Thread &t = thread(tid);
     if (!t.running) {
         // Race: SN not yet observed; kernel captures it for later.
         bump(mUipiDeferred_);
@@ -374,6 +438,93 @@ Kernel::senduipi(int uitt_index)
     scanUpid(tid);
     bump(mUipiFast_);
     return DeliveryPath::Fast;
+}
+
+void
+Kernel::setDeliveryPolicy(ThreadId id, unsigned vector,
+                          DeliveryPolicy policy)
+{
+    thread(id).policies[vector] = policy;
+}
+
+DeliveryPolicy
+Kernel::deliveryPolicy(ThreadId id, unsigned vector) const
+{
+    const DeliveryPolicy *p = policyFor(thread(id), vector);
+    return p != nullptr ? *p : DeliveryPolicy{};
+}
+
+void
+Kernel::setModeration(ThreadId id, unsigned vector,
+                      ModerationParams params)
+{
+    Thread &t = thread(id);
+    t.moderators.erase(vector);
+    if (params.enabled())
+        t.moderators.emplace(vector, VectorModerator(params));
+}
+
+const DeliveryPolicy *
+Kernel::policyFor(const Thread &t, unsigned vector) const
+{
+    if (t.policies.empty())
+        return nullptr;
+    auto it = t.policies.find(vector);
+    return it == t.policies.end() ? nullptr : &it->second;
+}
+
+void
+Kernel::moderationFlush(ThreadId id, unsigned vector)
+{
+    Thread &t = thread(id);
+    auto mit = t.moderators.find(vector);
+    if (mit == t.moderators.end())
+        return;
+    VectorModerator &mod = mit->second;
+    if (!mod.flushPending())
+        return;  // cancelled by an earlier fault or reconfiguration
+
+    if (fault_ != nullptr) {
+        auto d = fault_->decide(fault::Site::ModerationFlush);
+        if (d.action == fault::Action::Drop) {
+            // The flush event is lost. The batch stays in the PIR:
+            // later posts open a fresh window, and the rescan or
+            // resume-drain paths recover the stranded posts. The
+            // moderator must forget the window or every future post
+            // would coalesce into a flush that never comes.
+            mod.cancelFlush();
+            bump(mModFlushDropped_);
+            if (recoveryEnabled_)
+                scheduleUpidRecovery(id, 0);
+            return;
+        }
+        if (d.action == fault::Action::Delay) {
+            Cycles delta = d.magnitude == 0 ? 1 : d.magnitude;
+            bump(mModFlushDelayed_);
+            sim_.queue().scheduleAfter(delta, [this, id, vector] {
+                moderationFlush(id, vector);
+            });
+            return;
+        }
+    }
+
+    mod.onFlush(sim_.now());
+    bump(mModFlushes_);
+    if (!t.running) {
+        // Receiver descheduled between post and flush: the batch
+        // stays parked; resume drain (or the rescan) delivers it.
+        if (recoveryEnabled_)
+            scheduleUpidRecovery(id, 0);
+        return;
+    }
+    if (t.hasUpid && t.upid.hasPending()) {
+        scanUpid(id);
+    } else {
+        // Resume drain beat the flush to the batch.
+        if (ledger_ != nullptr)
+            ledger_->onSpuriousScan();
+        bump(mSpuriousScans_);
+    }
 }
 
 void
@@ -622,9 +773,22 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
         unsigned v = core.fwd.takeHighestUirr();
         ThreadId owner = forwardOwner(core_id, v);
         if (owner != kNoThread) {
+            Thread &ot = thread(owner);
+            // NEXT_ONLY skips DUPID parking: a forwarded interrupt
+            // toward a descheduled receiver is missed by design.
+            const DeliveryPolicy *p = policyFor(ot, v);
+            if (p != nullptr &&
+                p->behavior == DeliveryBehavior::NextOnly) {
+                if (ledger_ != nullptr) {
+                    ledger_->onPosted(fwdKey(owner, v));
+                    ledger_->onAbandonedOne(fwdKey(owner, v));
+                }
+                bump(mModMissed_);
+                return DeliveryPath::Suppressed;
+            }
             if (ledger_ != nullptr)
                 ledger_->onPosted(fwdKey(owner, v));
-            thread(owner).dupid.post(v);
+            ot.dupid.post(v);
         }
         bump(mFwdSlow_);
         return DeliveryPath::Deferred;
@@ -762,6 +926,20 @@ Kernel::attachMetrics(MetricsRegistry &registry)
         &registry.counter("kernel.recovery.forward_delayed");
     mSpuriousScans_ =
         &registry.counter("kernel.recovery.spurious_scans");
+
+    mModCoalesced_ = &registry.counter("kernel.moderation.coalesced");
+    mModSuppressed_ =
+        &registry.counter("kernel.moderation.suppressed");
+    mModFlushes_ = &registry.counter("kernel.moderation.flushes");
+    mModFlushDropped_ =
+        &registry.counter("kernel.moderation.flush_dropped");
+    mModFlushDelayed_ =
+        &registry.counter("kernel.moderation.flush_delayed");
+    mModMissed_ = &registry.counter("kernel.moderation.missed");
+    mModMissedThenDelivered_ =
+        &registry.counter("kernel.moderation.missed_then_delivered");
+    mModLevelRedeliver_ =
+        &registry.counter("kernel.moderation.level_redeliver");
 }
 
 unsigned

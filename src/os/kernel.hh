@@ -36,6 +36,7 @@
 #include "fault/invariants.hh"
 #include "intr/forwarding.hh"
 #include "intr/kb_timer.hh"
+#include "intr/policy.hh"
 #include "intr/uitt.hh"
 #include "intr/upid.hh"
 #include "obs/metrics.hh"
@@ -123,6 +124,38 @@ class Kernel
      * by scheduleOn (slow path); when SN is set, no IPI is emitted.
      */
     DeliveryPath senduipi(int uitt_index);
+
+    // ----- delivery policies & moderation (src/intr/policy.hh) ------
+
+    /**
+     * Set the delivery policy for one (thread, vector). Unset
+     * vectors keep the legacy protocol (NEXT_OR_MISSED, edge) and
+     * pay nothing: the policy lookup is guarded by an empty-map
+     * check, so an unconfigured kernel is bit-identical.
+     *
+     * NEXT_ONLY drops posts toward a descheduled receiver (ledger:
+     * posted+abandoned, counted in kernel.moderation.missed) — they
+     * are never parked in the PIR/DUPID. Level trigger rescans the
+     * UPID on a post that finds ON already set, recovering from a
+     * lost notification IPI without the rescan backoff.
+     */
+    void setDeliveryPolicy(ThreadId thread, unsigned vector,
+                           DeliveryPolicy policy);
+
+    /** The policy for a (thread, vector); default if unset. */
+    DeliveryPolicy deliveryPolicy(ThreadId thread,
+                                  unsigned vector) const;
+
+    /**
+     * Configure ITR-style moderation for one (thread, vector):
+     * posts land in the PIR immediately, but the notification is
+     * batched — at most one per `itr` gap, and posts within
+     * `coalesceWindow` of the first collapse into one flush.
+     * Disabled params remove the moderator. Posts pending when the
+     * receiver deschedules take the normal resume-drain slow path.
+     */
+    void setModeration(ThreadId thread, unsigned vector,
+                       ModerationParams params);
 
     // ----- KB timer (§4.3) ---------------------------------------------
 
@@ -263,6 +296,10 @@ class Kernel
          * the restore-missed path completes the accounting.
          */
         bool timerDuePosted = false;
+        /** Per-vector delivery policies (empty = all legacy). */
+        std::unordered_map<unsigned, DeliveryPolicy> policies;
+        /** Per-vector moderators (empty = no moderation). */
+        std::unordered_map<unsigned, VectorModerator> moderators;
     };
 
     struct Core
@@ -296,6 +333,11 @@ class Kernel
                                ThreadId posted_to);
     /** Abandon an observed-but-cancelled KB-timer expiry. */
     void abandonTimerDue(CoreId core_id);
+    /** The policy for a vector, or null when unset (fast check). */
+    const DeliveryPolicy *policyFor(const Thread &t,
+                                    unsigned vector) const;
+    /** A scheduled moderation-window flush fires. */
+    void moderationFlush(ThreadId id, unsigned vector);
 
     Simulation &sim_;
     CostModel costs_;
@@ -359,6 +401,18 @@ class Kernel
     Counter *mRecoveredFwdParked_ = nullptr;
     Counter *mRecoveredFwdDelayed_ = nullptr;
     Counter *mSpuriousScans_ = nullptr;
+
+    // kernel.moderation.*: delivery-policy and moderation outcomes.
+    Counter *mModCoalesced_ = nullptr;
+    Counter *mModSuppressed_ = nullptr;
+    Counter *mModFlushes_ = nullptr;
+    Counter *mModFlushDropped_ = nullptr;
+    Counter *mModFlushDelayed_ = nullptr;
+    Counter *mModMissed_ = nullptr;
+    Counter *mModMissedThenDelivered_ = nullptr;
+    Counter *mModLevelRedeliver_ = nullptr;
+    /** True while drainParked delivers resume-drain backlog. */
+    bool inResumeDrain_ = false;
 };
 
 } // namespace xui

@@ -31,8 +31,49 @@ Runtime::receiveCost() const
 }
 
 void
+Runtime::setAdaptiveQuantum(AdaptiveQuantumConfig cfg)
+{
+    adaptive_ = cfg;
+    effQuantum_ = quantum_;
+    windowStart_ = sim_.now();
+    windowArrivals_ = 0;
+}
+
+void
+Runtime::attachMetrics(MetricsRegistry &registry)
+{
+    mAdaptTightened_ =
+        &registry.counter("runtime.adaptive.tightened");
+    mAdaptRelaxed_ = &registry.counter("runtime.adaptive.relaxed");
+    mAdaptWindows_ = &registry.counter("runtime.adaptive.windows");
+}
+
+void
 Runtime::submit(UThread t)
 {
+    // Adaptive quantum: account the arrival and close out any
+    // elapsed windows at their boundaries. Evaluating here (instead
+    // of on a periodic event) keeps the disabled path branch-free
+    // beyond this one check and adds no DES events when enabled.
+    if (adaptive_.enabled()) {
+        Cycles now = sim_.now();
+        while (now >= windowStart_ + adaptive_.window) {
+            bump(mAdaptWindows_);
+            if (windowArrivals_ >= adaptive_.highWatermark &&
+                effQuantum_ != adaptive_.tightQuantum) {
+                effQuantum_ = adaptive_.tightQuantum;
+                bump(mAdaptTightened_);
+            } else if (windowArrivals_ <= adaptive_.lowWatermark &&
+                       effQuantum_ != quantum_) {
+                effQuantum_ = quantum_;
+                bump(mAdaptRelaxed_);
+            }
+            windowStart_ += adaptive_.window;
+            windowArrivals_ = 0;
+        }
+        ++windowArrivals_;
+    }
+
     t.enqueuedAt = sim_.now();
     t.remaining = t.totalWork;
     unsigned w = nextWorker_;
@@ -109,7 +150,11 @@ Runtime::dispatch(unsigned w)
     UThread &t = *worker.current;
     Cycles slice = t.remaining;
     if (mode_ != PreemptMode::None) {
-        Cycles until_fire = quantum_ - worker.quantumPhase;
+        // A quantum that tightened mid-slice can leave the phase at
+        // or past the new boundary: fire on the next cycle.
+        Cycles eq = effectiveQuantum();
+        Cycles until_fire =
+            eq > worker.quantumPhase ? eq - worker.quantumPhase : 1;
         slice = std::min(slice, until_fire);
     }
     assert(slice > 0);
@@ -131,7 +176,7 @@ Runtime::sliceDone(unsigned w, Cycles slice)
     Cycles overhead = 0;
     bool fired = false;
     if (mode_ != PreemptMode::None &&
-        worker.quantumPhase >= quantum_) {
+        worker.quantumPhase >= effectiveQuantum()) {
         // The (KB or software) timer fires: pay the receive cost.
         worker.quantumPhase = 0;
         ++worker.stats.timerFires;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "des/simulation.hh"
+#include "obs/metrics.hh"
 #include "os/cost_model.hh"
 #include "runtime/uthread.hh"
 
@@ -39,6 +40,31 @@ enum class PreemptMode : std::uint8_t
     None,
     UipiSwTimer,
     XuiKbTimer,
+};
+
+/**
+ * Adaptive preemption quantum (LibPreemptible-style): the runtime
+ * tracks request arrivals per fixed window and tightens the
+ * KB-timer interval to `tightQuantum` while the arrival rate sits
+ * at or above `highWatermark` arrivals/window, relaxing back to the
+ * base quantum once it falls to `lowWatermark` or below. The rate
+ * is evaluated at submit time against window boundaries, so the
+ * mechanism schedules no extra DES events; disabled (the default)
+ * it is one branch and the runtime is bit-identical to the
+ * pre-adaptive build.
+ */
+struct AdaptiveQuantumConfig
+{
+    /** Arrival-counting window (0 = disabled). */
+    Cycles window = 0;
+    /** Tighten at >= this many arrivals per window. */
+    std::uint64_t highWatermark = 0;
+    /** Relax at <= this many arrivals per window. */
+    std::uint64_t lowWatermark = 0;
+    /** The tightened quantum (0 = disabled). */
+    Cycles tightQuantum = 0;
+
+    bool enabled() const { return window != 0 && tightQuantum != 0; }
 };
 
 /** The user-level runtime. */
@@ -89,6 +115,22 @@ class Runtime
     PreemptMode mode() const { return mode_; }
     Cycles quantum() const { return quantum_; }
 
+    /** Enable/disable the adaptive quantum (see the config). */
+    void setAdaptiveQuantum(AdaptiveQuantumConfig cfg);
+
+    /** The quantum currently in force (== quantum() when the
+     *  adaptive mechanism is disabled or relaxed). */
+    Cycles effectiveQuantum() const
+    {
+        return adaptive_.enabled() ? effQuantum_ : quantum_;
+    }
+
+    /**
+     * Register "runtime.adaptive.*" counters. Null-safe like every
+     * other attachMetrics in the repo.
+     */
+    void attachMetrics(MetricsRegistry &registry);
+
     /**
      * Timer-core busy cycles implied by this run (UipiSwTimer only):
      * one senduipi per worker per quantum of wall time while the
@@ -120,6 +162,20 @@ class Runtime
     std::uint64_t inFlight_ = 0;
     Cycles timerCoreBusy_ = 0;
     Rng rng_;
+
+    // Adaptive quantum (disabled by default: zero extra events).
+    AdaptiveQuantumConfig adaptive_;
+    Cycles effQuantum_ = 0;
+    Cycles windowStart_ = 0;
+    std::uint64_t windowArrivals_ = 0;
+    static void bump(Counter *c, std::uint64_t n = 1)
+    {
+        if (c != nullptr)
+            c->inc(n);
+    }
+    Counter *mAdaptTightened_ = nullptr;
+    Counter *mAdaptRelaxed_ = nullptr;
+    Counter *mAdaptWindows_ = nullptr;
 };
 
 } // namespace xui

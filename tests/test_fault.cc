@@ -687,6 +687,108 @@ TEST(Chaos, GridIsDeterministicAcrossJobCounts)
     EXPECT_EQ(a.failures.size(), b.failures.size());
 }
 
+TEST(Chaos, ModerationScenariosSurviveFlushFaults)
+{
+    // The moderation-aware scenarios under their matching fault
+    // options: flush drops / delays must never lose a post while
+    // recovery is on, and the fabric must actually hit the
+    // moderation sites across the seed range.
+    struct Case
+    {
+        chaos::ScenarioKind kind;
+        bool drop;
+        bool delay;
+    };
+    const Case cases[] = {
+        {chaos::ScenarioKind::CoalesceDrop, true, false},
+        {chaos::ScenarioKind::ItrMisfire, false, true},
+    };
+    for (const Case &cs : cases) {
+        std::uint64_t dropped = 0;
+        std::uint64_t delayed = 0;
+        std::uint64_t coalesced = 0;
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            chaos::CellConfig cc;
+            cc.kind = cs.kind;
+            cc.seed = seed;
+            fault::ScheduleOptions opts;
+            opts.dropModerationFlush = cs.drop;
+            opts.delayModerationFlush = cs.delay;
+            cc.schedule = fault::generateSchedule(
+                chaos::cellScheduleSeed(cs.kind, seed), opts);
+            chaos::CellResult r = chaos::runCell(cc);
+            EXPECT_TRUE(r.passed)
+                << chaos::scenarioName(cs.kind) << " seed " << seed
+                << ": "
+                << (r.violations.empty() ? "?" : r.violations[0]);
+            EXPECT_GT(r.modFlushes + r.modFlushDropped, 0u)
+                << chaos::scenarioName(cs.kind) << " seed " << seed;
+            dropped += r.modFlushDropped;
+            delayed += r.modFlushDelayed;
+            coalesced += r.modCoalesced + r.coalescedSatisfied;
+        }
+        if (cs.drop)
+            EXPECT_GT(dropped, 0u) << chaos::scenarioName(cs.kind);
+        if (cs.delay)
+            EXPECT_GT(delayed, 0u) << chaos::scenarioName(cs.kind);
+        EXPECT_GT(coalesced, 0u) << chaos::scenarioName(cs.kind);
+    }
+}
+
+TEST(Chaos, ShrunkModerationReproReplaysBitIdentically)
+{
+    // The .repro contract for the new scenarios: shrink a failing
+    // moderation cell, round-trip the shrunk schedule through its
+    // text encoding (what the .repro file stores), and the replay
+    // must reproduce the identical result — same counters, same
+    // violations — run after run.
+    chaos::CellConfig failing;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+        chaos::CellConfig cc;
+        cc.kind = chaos::ScenarioKind::CoalesceDrop;
+        cc.seed = seed;
+        cc.recovery = false;
+        cc.finalDrain = false;
+        fault::ScheduleOptions opts;
+        opts.dropModerationFlush = true;
+        cc.schedule = fault::generateSchedule(
+            chaos::cellScheduleSeed(cc.kind, seed), opts);
+        if (!chaos::runCell(cc).passed) {
+            failing = cc;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found)
+        << "no failing coalesce_drop cell in 40 seeds";
+
+    fault::Schedule minimal = chaos::shrink(failing);
+    EXPECT_GE(minimal.size(), 1u);
+
+    fault::Schedule decoded;
+    ASSERT_TRUE(fault::Schedule::decode(minimal.encode(), decoded));
+    EXPECT_EQ(minimal.encode(), decoded.encode());
+
+    chaos::CellConfig replay = failing;
+    replay.schedule = decoded;
+    chaos::CellResult a = chaos::runCell(replay);
+    chaos::CellResult b = chaos::runCell(replay);
+    EXPECT_FALSE(a.passed);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.posted, b.posted);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.coalescedSatisfied, b.coalescedSatisfied);
+    EXPECT_EQ(a.modFlushDropped, b.modFlushDropped);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.violations, b.violations);
+
+    // Recovery + drain rescue the very same shrunk schedule.
+    chaos::CellConfig rescued = replay;
+    rescued.recovery = true;
+    rescued.finalDrain = true;
+    EXPECT_TRUE(chaos::runCell(rescued).passed);
+}
+
 TEST(Chaos, ScenarioNamesRoundTrip)
 {
     for (std::size_t i = 0; i < chaos::kNumScenarios; ++i) {

@@ -493,6 +493,87 @@ TEST(BenchArgsDeathTest, MissingValueExitsTwo)
                 "--seed needs a value");
 }
 
+TEST(BenchArgs, PolicyFlagParses)
+{
+    bench::Options o = parse({"--policy", "next_or_missed_level"});
+    EXPECT_TRUE(o.policyGiven);
+    EXPECT_TRUE(o.policy.enabled);
+    EXPECT_EQ(o.policy.policy.behavior,
+              DeliveryBehavior::NextOrMissed);
+    EXPECT_EQ(o.policy.policy.trigger, TriggerMode::Level);
+
+    o = parse({"--policy", "off"});
+    EXPECT_TRUE(o.policyGiven)
+        << "--policy off still narrows the frontier to one policy";
+    EXPECT_FALSE(o.policy.enabled);
+
+    o = parse({"--policy", "moderated"});
+    EXPECT_TRUE(o.policy.moderated);
+    o = parse({"--policy", "adaptive"});
+    EXPECT_TRUE(o.policy.adaptive);
+}
+
+TEST(BenchArgs, OverloadFlagsParse)
+{
+    bench::Options o =
+        parse({"--itr-ns", "1500", "--offered-load", "2.5"});
+    EXPECT_EQ(o.itrNs, 1500u);
+    EXPECT_DOUBLE_EQ(o.offeredLoad, 2.5);
+    EXPECT_DOUBLE_EQ(parse({}).offeredLoad, 0.0)
+        << "--offered-load unset must leave the figure path active";
+}
+
+TEST(BenchArgsDeathTest, PolicyGarbageExitsTwo)
+{
+    EXPECT_EXIT(parse({"--policy", "bogus"}),
+                ::testing::ExitedWithCode(2),
+                "unknown --policy 'bogus'");
+    EXPECT_EXIT(parse({"--policy", "NEXT_ONLY_EDGE"}),
+                ::testing::ExitedWithCode(2),
+                "unknown --policy");
+    EXPECT_EXIT(parse({"--policy"}),
+                ::testing::ExitedWithCode(2),
+                "--policy needs a value");
+}
+
+TEST(BenchArgsDeathTest, ItrNsGarbageExitsTwo)
+{
+    EXPECT_EXIT(parse({"--itr-ns", "fast"}),
+                ::testing::ExitedWithCode(2),
+                "--itr-ns needs a non-negative integer, got 'fast'");
+    EXPECT_EXIT(parse({"--itr-ns", "-5"}),
+                ::testing::ExitedWithCode(2),
+                "--itr-ns needs a non-negative integer, got '-5'");
+    EXPECT_EXIT(parse({"--itr-ns", "10ns"}),
+                ::testing::ExitedWithCode(2),
+                "--itr-ns needs a non-negative integer, got '10ns'");
+    EXPECT_EXIT(parse({"--itr-ns"}),
+                ::testing::ExitedWithCode(2),
+                "--itr-ns needs a value");
+}
+
+TEST(BenchArgsDeathTest, OfferedLoadGarbageExitsTwo)
+{
+    EXPECT_EXIT(parse({"--offered-load", "lots"}),
+                ::testing::ExitedWithCode(2),
+                "--offered-load needs a positive number, "
+                "got 'lots'");
+    EXPECT_EXIT(parse({"--offered-load", "0"}),
+                ::testing::ExitedWithCode(2),
+                "--offered-load needs a positive number, got '0'");
+    EXPECT_EXIT(parse({"--offered-load", "-1.5"}),
+                ::testing::ExitedWithCode(2),
+                "--offered-load needs a positive number, "
+                "got '-1.5'");
+    EXPECT_EXIT(parse({"--offered-load", "2.0x"}),
+                ::testing::ExitedWithCode(2),
+                "--offered-load needs a positive number, "
+                "got '2.0x'");
+    EXPECT_EXIT(parse({"--offered-load"}),
+                ::testing::ExitedWithCode(2),
+                "--offered-load needs a value");
+}
+
 TEST(BenchArgsDeathTest, HelpExitsZero)
 {
     EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0),

@@ -199,6 +199,14 @@ printCell(const chaos::CellResult &r)
     if (r.senderRetries != 0 || r.senderFallbacks != 0)
         std::cout << ", sender retries " << r.senderRetries
                   << " fallbacks " << r.senderFallbacks;
+    if (r.modFlushes != 0 || r.modCoalesced != 0 ||
+        r.modFlushDropped != 0 || r.modFlushDelayed != 0)
+        std::cout << "\n  moderation: coalesced " << r.modCoalesced
+                  << ", flushes " << r.modFlushes
+                  << " (dropped " << r.modFlushDropped
+                  << ", delayed " << r.modFlushDelayed
+                  << "), coalesced-satisfied "
+                  << r.coalescedSatisfied;
     std::cout << '\n';
 }
 
