@@ -7,6 +7,12 @@
  * results are bit-identical either way), and the observability
  * flags `--metrics-json FILE` / `--trace-json FILE` (src/obs:
  * metrics snapshot and Perfetto-loadable Chrome trace export).
+ * The pipeline-pressure profiler rides on the same session:
+ * `--counter-stride N` samples core occupancy/rate/memory counter
+ * tracks into the trace every N cycles (burst mode drops to every
+ * cycle around interrupt spans), and `--tax` attributes every cycle
+ * under a live interrupt span to flush/refill/ucode/handler/shadow
+ * buckets (`core.tax.*` in the metrics snapshot).
  * Unknown flags, flags missing their value, and malformed `--jobs`
  * values (0, signs, non-digits) are errors: usage goes to stderr
  * and the bench exits with status 2.
@@ -126,6 +132,13 @@ struct Options
     std::string metricsJson;
     /** `--trace-json FILE`: write a Chrome trace ("" = off). */
     std::string traceJson;
+    /**
+     * `--counter-stride N`: sample counter tracks every N cycles
+     * into the trace (0 = off; needs --trace-json to emit).
+     */
+    std::uint64_t counterStride = 0;
+    /** `--tax`: interrupt-tax stall attribution (core.tax.*). */
+    bool tax = false;
     /** `--jobs N`: sweep worker threads (0 = hardware threads). */
     unsigned jobs = 0;
     /** `--policy NAME`: delivery policy for the overload section. */
@@ -150,6 +163,7 @@ printUsage(std::FILE *out, const char *prog)
     std::fprintf(out,
                  "usage: %s [--quick] [--seed N] [--jobs N] "
                  "[--metrics-json FILE] [--trace-json FILE]\n"
+                 "       [--counter-stride N] [--tax]\n"
                  "       [--policy %s]\n"
                  "       [--itr-ns N] [--offered-load X]\n",
                  prog, policyUsageNames());
@@ -246,6 +260,25 @@ parseArgs(int argc, char **argv)
                 printUsage(stderr, argv[0]);
                 std::exit(2);
             }
+        } else if (std::strcmp(arg, "--counter-stride") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --counter-stride needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parseU64Strict(v, opts.counterStride)) {
+                std::fprintf(stderr,
+                             "%s: --counter-stride needs a "
+                             "non-negative integer, got '%s'\n",
+                             argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--tax") == 0) {
+            opts.tax = true;
         } else if (std::strcmp(arg, "--trace-json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,

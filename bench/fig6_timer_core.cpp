@@ -13,6 +13,7 @@
 #include "des/simulation.hh"
 #include "exec/sweep.hh"
 #include "obs/session.hh"
+#include "obs_util.hh"
 #include "os/kernel.hh"
 #include "os/timer_core.hh"
 #include "stats/table.hh"
@@ -107,11 +108,13 @@ main(int argc, char **argv)
     // interval plus the kernel's interval-timer machinery, so the
     // DES event stream and kernel.* counters land in the export.
     ObsSession obs(opts.metricsJson, opts.traceJson);
+    bench::applyProfileFlags(obs, opts);
     if (obs.enabled()) {
         Simulation sim(opts.seed);
         obs.attach(sim.queue(), 0, "timer_core");
         Kernel kernel(sim, costs, 1);
         kernel.attachMetrics(*obs.metrics());
+        kernel.attachCounterTrace(obs.kernelTrace());
         ThreadId thread = kernel.createThread();
         kernel.registerHandler(thread, [](unsigned) {});
         kernel.scheduleOn(thread, 0);
@@ -123,5 +126,6 @@ main(int argc, char **argv)
         sim.runUntil(duration);
         model.publish();
     }
+    bench::runObsScenario(obs, opts);
     return obs.finish();
 }

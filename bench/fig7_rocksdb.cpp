@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "kv/server.hh"
 #include "obs/session.hh"
+#include "obs_util.hh"
 #include "overload_util.hh"
 #include "stats/table.hh"
 
@@ -98,6 +99,7 @@ runOverloadFrontier(const bench::Options &opts)
         bench::applyPolicy(cfg, pc);
         runKvServer(cfg);
     }
+    bench::runObsScenario(obs, opts);
     return obs.finish();
 }
 
@@ -199,5 +201,6 @@ main(int argc, char **argv)
         cfg.traceOut = obs.trace();
         runKvServer(cfg);
     }
+    bench::runObsScenario(obs, opts);
     return obs.finish();
 }

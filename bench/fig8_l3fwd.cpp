@@ -15,6 +15,7 @@
 #include "exec/sweep.hh"
 #include "net/l3fwd.hh"
 #include "obs/session.hh"
+#include "obs_util.hh"
 #include "overload_util.hh"
 #include "stats/table.hh"
 
@@ -145,6 +146,7 @@ runOverloadFrontier(const bench::Options &opts)
         bench::applyPolicy(cfg, pc, opts.itrNs);
         runL3Fwd(cfg);
     }
+    bench::runObsScenario(obs, opts);
     return obs.finish();
 }
 
@@ -252,5 +254,6 @@ main(int argc, char **argv)
         cfg.traceOut = obs.trace();
         runL3Fwd(cfg);
     }
+    bench::runObsScenario(obs, opts);
     return obs.finish();
 }

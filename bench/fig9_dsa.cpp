@@ -11,6 +11,7 @@
 #include "bench_util.hh"
 #include "accel/client.hh"
 #include "obs/session.hh"
+#include "obs_util.hh"
 #include "stats/table.hh"
 
 using namespace xui;
@@ -86,5 +87,6 @@ main(int argc, char **argv)
         cfg.traceOut = obs.trace();
         runDsaClient(cfg);
     }
+    bench::runObsScenario(obs, opts);
     return obs.finish();
 }

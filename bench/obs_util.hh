@@ -10,6 +10,13 @@
  * lifecycle spans, per-core pipeline events, and core counters. The
  * benches' own measurement runs stay uninstrumented (null observer,
  * identical timing).
+ *
+ * applyProfileFlags() forwards `--counter-stride` / `--tax` into the
+ * session's pipeline-pressure profiler (src/obs/sampler.hh). With
+ * `--tax` the scenario widens to one core per delivery strategy
+ * (Tracked / Flush / Drain), each under its own periodic timer, so
+ * the exported `core<N>.tax.*` tables compare the interrupt tax of
+ * all three mechanisms side by side.
  */
 
 #ifndef XUI_BENCH_OBS_UTIL_HH
@@ -22,21 +29,45 @@
 namespace xui::bench
 {
 
+/** Forward --counter-stride / --tax; call before the first attach. */
+inline void
+applyProfileFlags(ObsSession &obs, const Options &opts)
+{
+    ProfileConfig cfg;
+    cfg.counterStride = opts.counterStride;
+    cfg.tax = opts.tax;
+    obs.setProfile(cfg);
+}
+
 inline void
 runObsScenario(ObsSession &obs, const Options &opts)
 {
     if (!obs.enabled())
         return;
+    applyProfileFlags(obs, opts);
     Program prog = makeFib();
-    CoreParams params;
-    params.strategy = DeliveryStrategy::Tracked;
     UarchSystem sys(opts.seed);
-    OooCore &core = sys.addCore(params, &prog);
+    static const DeliveryStrategy kStrategies[] = {
+        DeliveryStrategy::Tracked,
+        DeliveryStrategy::Flush,
+        DeliveryStrategy::Drain,
+    };
+    std::size_t ncores = opts.tax ? 3 : 1;
+    for (std::size_t i = 0; i < ncores; ++i) {
+        CoreParams params;
+        params.strategy = kStrategies[i];
+        sys.addCore(params, &prog);
+    }
     obs.attach(sys);
-    core.kbTimer().configure(true, 0x21);
-    core.kbTimer().setTimer(0, usToCycles(5), KbTimerMode::Periodic);
-    core.runCycles(opts.quick ? 20000 : 100000);
-    obs.publishCore(core);
+    for (std::size_t i = 0; i < ncores; ++i) {
+        OooCore &core = sys.core(i);
+        core.kbTimer().configure(true, 0x21);
+        core.kbTimer().setTimer(0, usToCycles(5),
+                                KbTimerMode::Periodic);
+    }
+    sys.run(opts.quick ? 20000 : 100000);
+    for (std::size_t i = 0; i < ncores; ++i)
+        obs.publishCore(sys.core(i));
 }
 
 } // namespace xui::bench

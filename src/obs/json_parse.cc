@@ -1,0 +1,371 @@
+#include "obs/json_parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace xui
+{
+
+namespace
+{
+
+/** Recursive-descent state over one document. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool parseDocument(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr unsigned kMaxDepth = 64;
+
+    bool fail(const std::string &what)
+    {
+        error_ = what + " at byte " + std::to_string(pos_);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out, unsigned depth)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.object.emplace_back(std::move(key),
+                                    std::move(member));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool parseArray(JsonValue &out, unsigned depth)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_;  // '"'
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // The emitters only produce \u00xx control-range
+                // escapes; encode as UTF-8 for the general case.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f));
+                    out +=
+                        static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        std::size_t int_start = pos_;
+        std::size_t int_digits = digits();
+        if (int_digits == 0) {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        // RFC 8259: no leading zeros ("01" is two tokens).
+        if (int_digits > 1 && text_[int_start] == '0') {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) {
+                pos_ = start;
+                return fail("invalid number");
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0) {
+                pos_ = start;
+                return fail("invalid number");
+            }
+        }
+        errno = 0;
+        out.kind = JsonValue::Kind::Number;
+        out.number =
+            std::strtod(text_.c_str() + start, nullptr);
+        if (errno == ERANGE) {
+            pos_ = start;
+            return fail("number out of range");
+        }
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+bool
+jsonParse(const std::string &text, JsonValue &out,
+          std::string &error)
+{
+    Parser p(text, error);
+    return p.parseDocument(out);
+}
+
+bool
+jsonParseFile(const std::string &path, JsonValue &out,
+              std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!jsonParse(buf.str(), out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+void
+flattenNumbers(const JsonValue &value, const std::string &prefix,
+               std::map<std::string, double> &out)
+{
+    switch (value.kind) {
+      case JsonValue::Kind::Number:
+        out[prefix] = value.number;
+        break;
+      case JsonValue::Kind::Bool:
+        out[prefix] = value.boolean ? 1.0 : 0.0;
+        break;
+      case JsonValue::Kind::Object:
+        for (const auto &[key, member] : value.object)
+            flattenNumbers(
+                member, prefix.empty() ? key : prefix + "." + key,
+                out);
+        break;
+      case JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < value.array.size(); ++i)
+            flattenNumbers(value.array[i],
+                           (prefix.empty() ? "" : prefix + ".") +
+                               std::to_string(i),
+                           out);
+        break;
+      case JsonValue::Kind::String:
+      case JsonValue::Kind::Null:
+        break;
+    }
+}
+
+} // namespace xui

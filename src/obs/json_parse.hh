@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON parser for the repo's own artifacts.
+ *
+ * Everything under build/ — `--metrics-json` snapshots, BENCH_*.json
+ * references, trace exports — is emitted by src/obs or the bench
+ * drivers, so the parser only needs strict RFC-8259 JSON: objects,
+ * arrays, strings (with the escapes jsonEscape produces), finite
+ * numbers, true/false/null. It is a small recursive-descent parser
+ * with a depth limit; errors carry a byte offset so a malformed
+ * reference file is diagnosable from the CLI.
+ *
+ * Object member order is preserved (vector of pairs, not a map):
+ * flattenNumbers() paths then enumerate deterministically in
+ * document order.
+ */
+
+#ifndef XUI_OBS_JSON_PARSE_HH
+#define XUI_OBS_JSON_PARSE_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xui
+{
+
+/** One parsed JSON value (tree-owning). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Members in document order. */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member lookup (first match; nullptr when absent). */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse `text` as one JSON document (trailing junk is an error).
+ * @param error on failure: message with byte offset
+ * @return false on malformed input (`out` unspecified)
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/**
+ * Read and parse a file.
+ * @param error on failure: open error or parse diagnostic
+ */
+bool jsonParseFile(const std::string &path, JsonValue &out,
+                   std::string &error);
+
+/**
+ * Flatten every numeric leaf (numbers and booleans as 0/1) into
+ * dotted paths: object keys join with '.', array elements with
+ * their index ("scenarios.0.sim_cycles"). Strings and nulls are
+ * skipped — perfdiff compares numbers.
+ */
+void flattenNumbers(const JsonValue &value,
+                    const std::string &prefix,
+                    std::map<std::string, double> &out);
+
+} // namespace xui
+
+#endif // XUI_OBS_JSON_PARSE_HH

@@ -162,6 +162,19 @@ MetricsRegistry::writeCsv(CsvWriter &csv) const
     }
 }
 
+bool
+MetricsRegistry::writeCsvFile(const std::string &path) const
+{
+    try {
+        CsvWriter csv(path);
+        writeCsv(csv);
+        csv.close();
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {

@@ -153,8 +153,20 @@ class MetricsRegistry
     void writeTable(std::ostream &os,
                     const std::string &title = "Metrics") const;
 
-    /** Write one CSV row per metric (kind, name, stats columns). */
+    /**
+     * Write one CSV row per metric (kind, name, stats columns).
+     * The first row is a header; names containing commas, quotes,
+     * or newlines are RFC-4180-quoted by CsvWriter, so a snapshot
+     * always round-trips through spreadsheet tooling.
+     */
     void writeCsv(CsvWriter &csv) const;
+
+    /**
+     * Write the CSV rendering (header row + escaped names) to a
+     * file.
+     * @return false when the file cannot be written.
+     */
+    bool writeCsvFile(const std::string &path) const;
 
     /** Serialize every metric as a JSON object. */
     void writeJson(std::ostream &os) const;

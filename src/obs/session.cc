@@ -20,12 +20,44 @@ ObsSession::ObsSession(std::string metrics_path,
 
 ObsSession::~ObsSession() = default;
 
+KernelCounterTrace *
+ObsSession::kernelTrace()
+{
+    if (trace_ == nullptr)
+        return nullptr;
+    if (kernelTrace_ == nullptr)
+        kernelTrace_ = std::make_unique<KernelCounterTrace>(*trace_);
+    return kernelTrace_.get();
+}
+
 void
 ObsSession::attach(UarchSystem &sys)
 {
     if (!enabled())
         return;
-    sys.setIntrObserver(spans_.get());
+    bool wantSampler =
+        profile_.counterStride > 0 && trace_ != nullptr;
+    bool wantTax = profile_.tax;
+    if ((wantSampler || wantTax) && profiler_ == nullptr) {
+        profiler_ = std::make_unique<PipelinePressureProfiler>(
+            profile_, wantTax ? metrics_.get() : nullptr,
+            wantSampler ? trace_.get() : nullptr);
+    }
+    if (profiler_ != nullptr) {
+        // The core carries a single observer slot: fan the
+        // lifecycle stream out to the span tracker and the
+        // profiler (once, however many systems attach).
+        if (!teeBuilt_) {
+            observerTee_.add(spans_.get());
+            observerTee_.add(profiler_.get());
+            teeBuilt_ = true;
+        }
+        sys.setIntrObserver(&observerTee_);
+        for (std::size_t i = 0; i < sys.numCores(); ++i)
+            profiler_->attachCore(sys.core(i));
+    } else {
+        sys.setIntrObserver(spans_.get());
+    }
     if (trace_ != nullptr) {
         trace_->nameProcess(kTracePidUarch, "uarch");
         for (std::size_t i = 0; i < sys.numCores(); ++i) {
@@ -90,11 +122,23 @@ ObsSession::finish()
         return 0;
     finished_ = true;
     int rc = 0;
+    if (profiler_ != nullptr)
+        profiler_->publish(*metrics_);
     if (trace_ != nullptr) {
         spans_->exportTo(*trace_);
+        // Drop accounting: counter samples are sacrificed before
+        // span events at the buffer cap, and the two losses are
+        // reported separately (a lost sample costs resolution, a
+        // lost span deletes an interrupt from the timeline).
+        metrics_->counter("obs.trace.dropped_samples")
+            .inc(trace_->droppedSamples());
+        metrics_->counter("obs.trace.dropped_spans")
+            .inc(trace_->droppedSpans());
         if (trace_->dropped() > 0) {
-            std::cerr << "obs: dropped " << trace_->dropped()
-                      << " trace events (buffer cap reached)\n";
+            std::cerr << "obs: dropped " << trace_->droppedSamples()
+                      << " counter samples and "
+                      << trace_->droppedSpans()
+                      << " span events (buffer cap reached)\n";
         }
         if (!trace_->writeFile(tracePath_)) {
             std::cerr << "obs: cannot write " << tracePath_ << "\n";

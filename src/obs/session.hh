@@ -25,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/kernel_trace.hh"
 #include "obs/metrics.hh"
+#include "obs/sampler.hh"
 #include "obs/span.hh"
 #include "obs/trace_export.hh"
 #include "uarch/uarch_system.hh"
@@ -58,10 +60,27 @@ class ObsSession
     MetricsRegistry *metrics() { return metrics_.get(); }
     TraceJsonWriter *trace() { return trace_.get(); }
     IntrSpanTracker *spanTracker() { return spans_.get(); }
+    PipelinePressureProfiler *profiler() { return profiler_.get(); }
 
     /**
-     * Attach the span tracker and (when tracing) one pipeline sink
-     * per existing core. No-op when disabled.
+     * Configure pipeline-pressure profiling (`--counter-stride`,
+     * `--tax`). Must be called before attach(); counter tracks
+     * additionally need `--trace-json`, the tax rollup needs the
+     * registry (either flag). No-op when the session is disabled.
+     */
+    void setProfile(const ProfileConfig &cfg) { profile_ = cfg; }
+
+    /**
+     * Per-vector counter tracks for kernel.moderation.* /
+     * kernel.recovery.* (pass to Kernel::attachCounterTrace).
+     * Null when tracing is off.
+     */
+    KernelCounterTrace *kernelTrace();
+
+    /**
+     * Attach the span tracker, the pressure profiler (when
+     * configured), and (when tracing) one pipeline sink per
+     * existing core. No-op when disabled.
      */
     void attach(UarchSystem &sys);
 
@@ -83,10 +102,15 @@ class ObsSession
     std::unique_ptr<MetricsRegistry> metrics_;
     std::unique_ptr<TraceJsonWriter> trace_;
     std::unique_ptr<IntrSpanTracker> spans_;
+    std::unique_ptr<PipelinePressureProfiler> profiler_;
+    std::unique_ptr<KernelCounterTrace> kernelTrace_;
+    IntrObserverTee observerTee_;
+    ProfileConfig profile_;
     std::vector<std::unique_ptr<PipelineTraceSink>> sinks_;
     std::vector<std::unique_ptr<DesTraceHook>> desHooks_;
     std::string metricsPath_;
     std::string tracePath_;
+    bool teeBuilt_ = false;
     bool finished_ = false;
 };
 

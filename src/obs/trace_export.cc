@@ -11,14 +11,24 @@ TraceJsonWriter::TraceJsonWriter(std::size_t max_events)
     : maxEvents_(max_events)
 {}
 
-bool
-TraceJsonWriter::admit()
+void
+TraceJsonWriter::push(Event &&ev)
 {
-    if (events_.size() >= maxEvents_) {
-        ++dropped_;
-        return false;
+    if (events_.size() < maxEvents_) {
+        events_.push_back(std::move(ev));
+        return;
     }
-    return true;
+    // At the cap a span/instant event evicts the oldest buffered
+    // counter sample: samples lose resolution gracefully, a lost
+    // span deletes an interrupt from the timeline. Overwriting the
+    // slot perturbs buffer order, which the trace format allows
+    // (viewers sort by ts).
+    if (sampleHead_ < sampleIdx_.size()) {
+        events_[sampleIdx_[sampleHead_++]] = std::move(ev);
+        ++droppedSamples_;
+        return;
+    }
+    ++droppedSpans_;
 }
 
 void
@@ -27,10 +37,7 @@ TraceJsonWriter::instant(const std::string &name,
                          unsigned pid, unsigned tid,
                          const std::string &args_json)
 {
-    if (!admit())
-        return;
-    events_.push_back(
-        Event{name, category, 'i', cycle, 0, pid, tid, args_json});
+    push(Event{name, category, 'i', cycle, 0, pid, tid, args_json});
 }
 
 void
@@ -39,11 +46,23 @@ TraceJsonWriter::complete(const std::string &name,
                           Cycles end, unsigned pid, unsigned tid,
                           const std::string &args_json)
 {
-    if (!admit())
-        return;
     Cycles dur = end >= start ? end - start : 0;
-    events_.push_back(Event{name, category, 'X', start, dur, pid,
-                            tid, args_json});
+    push(Event{name, category, 'X', start, dur, pid, tid,
+               args_json});
+}
+
+void
+TraceJsonWriter::counter(const std::string &name, Cycles cycle,
+                         unsigned pid, unsigned tid,
+                         const std::string &args_json)
+{
+    if (events_.size() >= maxEvents_) {
+        ++droppedSamples_;
+        return;
+    }
+    sampleIdx_.push_back(events_.size());
+    events_.push_back(
+        Event{name, "counter", 'C', cycle, 0, pid, tid, args_json});
 }
 
 void

@@ -46,7 +46,16 @@ class TraceJsonWriter
     /**
      * @param max_events buffered-event cap; events beyond it are
      *        dropped (and counted) so a long run cannot exhaust
-     *        memory. Metadata events are never dropped.
+     *        memory. Metadata events are never dropped, and at the
+     *        cap counter-track samples are sacrificed before span /
+     *        instant events: samples are a periodic signal whose
+     *        loss degrades resolution, spans are the scarce signal
+     *        whose loss deletes an interrupt from the timeline. An
+     *        incoming sample at the cap is dropped outright; an
+     *        incoming span evicts the oldest buffered sample (and
+     *        only when no samples remain is the span itself
+     *        dropped). The two cases are counted separately
+     *        (droppedSamples() / droppedSpans()).
      */
     explicit TraceJsonWriter(std::size_t max_events = 1000000);
 
@@ -61,6 +70,15 @@ class TraceJsonWriter
                   unsigned tid,
                   const std::string &args_json = "");
 
+    /**
+     * Counter-track sample ("C"): `args_json` carries one key per
+     * series on the track named `name`. Perfetto renders one
+     * stacked counter track per (pid, name).
+     */
+    void counter(const std::string &name, Cycles cycle,
+                 unsigned pid, unsigned tid,
+                 const std::string &args_json);
+
     /** Metadata: name a process or thread track. */
     void nameProcess(unsigned pid, const std::string &name);
     void nameThread(unsigned pid, unsigned tid,
@@ -69,8 +87,17 @@ class TraceJsonWriter
     /** Buffered events (including metadata). */
     std::size_t size() const { return events_.size(); }
 
-    /** Events discarded after the cap was reached. */
-    std::size_t dropped() const { return dropped_; }
+    /** Events discarded after the cap was reached (all kinds). */
+    std::size_t dropped() const
+    {
+        return droppedSamples_ + droppedSpans_;
+    }
+
+    /** Counter-track samples dropped (or evicted) at the cap. */
+    std::size_t droppedSamples() const { return droppedSamples_; }
+
+    /** Span/instant events dropped at the cap (no sample left). */
+    std::size_t droppedSpans() const { return droppedSpans_; }
 
     /** Serialize the JSON array. */
     void write(std::ostream &os) const;
@@ -97,12 +124,24 @@ class TraceJsonWriter
         std::string args;
     };
 
-    bool admit();
+    /** Append a span/instant event, evicting a sample at the cap. */
+    void push(Event &&ev);
     void writeEvent(std::ostream &os, const Event &ev) const;
 
     std::vector<Event> events_;
     std::size_t maxEvents_;
-    std::size_t dropped_ = 0;
+    std::size_t droppedSamples_ = 0;
+    std::size_t droppedSpans_ = 0;
+
+    /**
+     * Buffer indices of admitted counter samples, in admission
+     * order; entries before sampleHead_ were already evicted.
+     * Samples are only appended while under the cap and eviction
+     * overwrites a sample slot with the incoming span, so every
+     * live entry always points at a sample event.
+     */
+    std::vector<std::size_t> sampleIdx_;
+    std::size_t sampleHead_ = 0;
 };
 
 /**

@@ -2,8 +2,17 @@
 
 #include <cassert>
 
+#include "obs/kernel_trace.hh"
+
 namespace xui
 {
+
+void
+Kernel::ktrace(const char *name, unsigned vector, std::uint64_t n)
+{
+    if (ktrace_ != nullptr)
+        ktrace_->bump(name, vector, sim_.now(), n);
+}
 
 namespace
 {
@@ -99,8 +108,11 @@ Kernel::drainParked(ThreadId id)
                 ledger_->onDelivered(fwdKey(id, v));
             const DeliveryPolicy *p = policyFor(t, v);
             if (p != nullptr &&
-                p->behavior == DeliveryBehavior::NextOrMissed)
+                p->behavior == DeliveryBehavior::NextOrMissed) {
                 bump(mModMissedThenDelivered_);
+                ktrace("kernel.moderation.missed_then_delivered",
+                       v);
+            }
             ++delivered;
         }
     }
@@ -124,8 +136,13 @@ Kernel::scanUpid(ThreadId id)
             if (inResumeDrain_) {
                 const DeliveryPolicy *p = policyFor(t, v);
                 if (p != nullptr &&
-                    p->behavior == DeliveryBehavior::NextOrMissed)
+                    p->behavior ==
+                        DeliveryBehavior::NextOrMissed) {
                     bump(mModMissedThenDelivered_);
+                    ktrace(
+                        "kernel.moderation.missed_then_delivered",
+                        v);
+                }
             }
             ++delivered;
         }
@@ -149,6 +166,8 @@ Kernel::notifyArrived(ThreadId id)
         if (ledger_ != nullptr)
             ledger_->onSpuriousScan();
         bump(mSpuriousScans_);
+        ktrace("kernel.recovery.spurious_scans",
+               KernelCounterTrace::kNoVector);
     }
 }
 
@@ -163,6 +182,9 @@ Kernel::scheduleUpidRecovery(ThreadId id, unsigned attempt)
         if (t.running) {
             unsigned n = scanUpid(id);
             bump(mRecoveredRescan_, n);
+            if (n != 0)
+                ktrace("kernel.recovery.upid_rescan",
+                       KernelCounterTrace::kNoVector, n);
             return;
         }
         // Receiver descheduled: retry with backoff; if retries run
@@ -170,9 +192,13 @@ Kernel::scheduleUpidRecovery(ThreadId id, unsigned attempt)
         // (scheduleOn) remains the designed fallback.
         if (attempt + 1 < maxRecoveryAttempts_) {
             bump(mRecoveryRetry_);
+            ktrace("kernel.recovery.rescan_retry",
+                   KernelCounterTrace::kNoVector);
             scheduleUpidRecovery(id, attempt + 1);
         } else {
             bump(mRecoveryParked_);
+            ktrace("kernel.recovery.parked_fallback",
+                   KernelCounterTrace::kNoVector);
         }
     });
 }
@@ -215,6 +241,8 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
             if (t.timerDuePosted) {
                 t.timerDuePosted = false;
                 bump(mRecoveredTimerLate_);
+                ktrace("kernel.recovery.kbtimer_late",
+                       t.timerVector);
             }
         }
     } else {
@@ -324,6 +352,7 @@ Kernel::senduipi(int uitt_index)
             ledger_->onAbandonedOne(uipiKey(tid, uv));
         }
         bump(mModMissed_);
+        ktrace("kernel.moderation.missed", uv);
         return DeliveryPath::Suppressed;
     }
 
@@ -339,9 +368,11 @@ Kernel::senduipi(int uitt_index)
             switch (mit->second.onPost(sim_.now())) {
               case VectorModerator::Verdict::Coalesced:
                 bump(mModCoalesced_);
+                ktrace("kernel.moderation.coalesced", uv);
                 return DeliveryPath::Deferred;
               case VectorModerator::Verdict::OpenWindow: {
                 bump(mModSuppressed_);
+                ktrace("kernel.moderation.suppressed", uv);
                 Cycles delay = mit->second.flushAt() - sim_.now();
                 sim_.queue().scheduleAfter(
                     delay == 0 ? 1 : delay, [this, tid, uv] {
@@ -363,6 +394,7 @@ Kernel::senduipi(int uitt_index)
         if (policy != nullptr &&
             policy->trigger == TriggerMode::Level && t.running) {
             bump(mModLevelRedeliver_);
+            ktrace("kernel.moderation.level_redeliver", uv);
             scanUpid(tid);
             return DeliveryPath::Fast;
         }
@@ -414,6 +446,8 @@ Kernel::senduipi(int uitt_index)
             if (ledger_ != nullptr)
                 ledger_->onSpuriousScan();
             bump(mSpuriousScans_);
+            ktrace("kernel.recovery.spurious_scans",
+                   KernelCounterTrace::kNoVector);
             if (recoveryEnabled_)
                 scheduleUpidRecovery(tid, 0);
             return DeliveryPath::Deferred;
@@ -494,6 +528,7 @@ Kernel::moderationFlush(ThreadId id, unsigned vector)
             // would coalesce into a flush that never comes.
             mod.cancelFlush();
             bump(mModFlushDropped_);
+            ktrace("kernel.moderation.flush_dropped", vector);
             if (recoveryEnabled_)
                 scheduleUpidRecovery(id, 0);
             return;
@@ -501,6 +536,7 @@ Kernel::moderationFlush(ThreadId id, unsigned vector)
         if (d.action == fault::Action::Delay) {
             Cycles delta = d.magnitude == 0 ? 1 : d.magnitude;
             bump(mModFlushDelayed_);
+            ktrace("kernel.moderation.flush_delayed", vector);
             sim_.queue().scheduleAfter(delta, [this, id, vector] {
                 moderationFlush(id, vector);
             });
@@ -510,6 +546,7 @@ Kernel::moderationFlush(ThreadId id, unsigned vector)
 
     mod.onFlush(sim_.now());
     bump(mModFlushes_);
+    ktrace("kernel.moderation.flushes", vector);
     if (!t.running) {
         // Receiver descheduled between post and flush: the batch
         // stays parked; resume drain (or the rescan) delivers it.
@@ -524,6 +561,7 @@ Kernel::moderationFlush(ThreadId id, unsigned vector)
         if (ledger_ != nullptr)
             ledger_->onSpuriousScan();
         bump(mSpuriousScans_);
+        ktrace("kernel.recovery.spurious_scans", vector);
     }
 }
 
@@ -667,6 +705,8 @@ Kernel::delayedKbTimerFire(CoreId core_id)
     // switch; consumeExpiry only acknowledges a still-live expiry.
     if (!core.timer.consumeExpiry(sim_.now())) {
         bump(mTimerFireCancelled_);
+        ktrace("kernel.recovery.kbtimer_cancelled",
+               core.timer.vector());
         if (core.timerDue)
             abandonTimerDue(core_id);
         return;
@@ -688,8 +728,11 @@ Kernel::deliverKbTimerFired(CoreId core_id)
             ledger_->onDelivered(
                 kbKey(running, core.timer.vector()));
     }
-    if (core.timerMisfired)
+    if (core.timerMisfired) {
         bump(mRecoveredTimerLate_);
+        ktrace("kernel.recovery.kbtimer_late",
+               core.timer.vector());
+    }
     core.timerDue = false;
     core.timerMisfired = false;
 }
@@ -750,6 +793,7 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
                 bump(mFaultFwdDropped_);
                 t.dupid.post(v);
                 bump(mRecoveredFwdParked_);
+                ktrace("kernel.recovery.forward_parked", v);
                 return DeliveryPath::Deferred;
             }
             if (d.action == fault::Action::Delay) {
@@ -784,6 +828,7 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
                     ledger_->onAbandonedOne(fwdKey(owner, v));
                 }
                 bump(mModMissed_);
+                ktrace("kernel.moderation.missed", v);
                 return DeliveryPath::Suppressed;
             }
             if (ledger_ != nullptr)
@@ -811,12 +856,14 @@ Kernel::delayedForwardDeliver(CoreId core_id, unsigned vector,
         if (ledger_ != nullptr)
             ledger_->onDelivered(fwdKey(posted_to, vector));
         bump(mRecoveredFwdDelayed_);
+        ktrace("kernel.recovery.forward_delayed", vector);
         return;
     }
     // Receiver context-switched while the interrupt was in flight:
     // fall back to DUPID parking; the resume drain delivers it.
     thread(posted_to).dupid.post(vector);
     bump(mRecoveredFwdParked_);
+    ktrace("kernel.recovery.forward_parked", vector);
 }
 
 ThreadId

@@ -44,6 +44,11 @@
 
 namespace xui
 {
+class KernelCounterTrace;
+}
+
+namespace xui
+{
 
 /** Kernel thread identifier. */
 using ThreadId = std::uint32_t;
@@ -273,6 +278,17 @@ class Kernel
      */
     void attachMetrics(MetricsRegistry &registry);
 
+    /**
+     * Mirror the moderation/recovery counters into per-vector
+     * Perfetto counter tracks (obs/kernel_trace.hh); nullptr
+     * detaches. Same null-guarded zero-cost convention as
+     * attachMetrics.
+     */
+    void attachCounterTrace(KernelCounterTrace *trace)
+    {
+        ktrace_ = trace;
+    }
+
   private:
     struct Thread
     {
@@ -363,6 +379,16 @@ class Kernel
         if (c != nullptr)
             c->inc(n);
     }
+
+    /**
+     * Emit a per-vector counter-track sample (no-op when no trace
+     * is attached). `vector` may be KernelCounterTrace::kNoVector
+     * for events with no vector in scope.
+     */
+    void ktrace(const char *name, unsigned vector,
+                std::uint64_t n = 1);
+
+    KernelCounterTrace *ktrace_ = nullptr;
     Counter *mCtxSwitches_ = nullptr;
     Counter *mReposts_ = nullptr;
     Counter *mSignals_ = nullptr;

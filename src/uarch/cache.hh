@@ -112,6 +112,9 @@ class MemHierarchy
     Cache &l1() { return l1_; }
     Cache &l2() { return l2_; }
     Cache &llc() { return llc_; }
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc() const { return llc_; }
 
     const MemHierarchyParams &params() const { return params_; }
 

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-cycle observation hook for the cycle tier.
+ *
+ * A CycleHook attached to an OooCore is consulted at the end of
+ * every tick, after all pipeline stages and lifecycle callbacks of
+ * that cycle have run. Like the pipeline Tracer and the interrupt
+ * lifecycle observer, the hook is off (null pointer, zero cost)
+ * unless attached — and even when attached, the fast path the core
+ * executes per tick is two inline integer tests against state the
+ * *hook owner* maintains:
+ *
+ *  - `liveSpans`: the number of interrupt spans currently open on
+ *    this core (raised, not yet returned). While it is zero the
+ *    interrupt-tax engine has nothing to attribute;
+ *  - `countdown`: cycles until the next counter-track sample. The
+ *    sampler rewinds it to its stride (or to 1 inside a burst
+ *    window) from inside onCycle().
+ *
+ * The virtual call happens only on cycles that are sampled or carry
+ * a live span, so a detached-equivalent run (no live spans, huge
+ * stride) pays one pointer test, one decrement, and one compare per
+ * tick. Hooks must never mutate the core: observation is read-only
+ * by contract, and the golden-digest corpus pins that a run with a
+ * hook attached is bit-identical to one without.
+ */
+
+#ifndef XUI_UARCH_CYCLE_HOOK_HH
+#define XUI_UARCH_CYCLE_HOOK_HH
+
+#include <cstdint>
+
+#include "des/time.hh"
+
+namespace xui
+{
+
+class OooCore;
+
+/** End-of-tick observation callback (see file comment). */
+class CycleHook
+{
+  public:
+    virtual ~CycleHook() = default;
+
+    /**
+     * One observed cycle.
+     * @param core the core that just finished ticking
+     * @param sampled the sample countdown reached zero this cycle
+     * @param live at least one interrupt span is open on this core
+     */
+    virtual void onCycle(const OooCore &core, bool sampled,
+                         bool live) = 0;
+
+    /** Sentinel stride: effectively never sample. */
+    static constexpr std::uint64_t kNeverSample = ~std::uint64_t(0);
+
+    /** Cycles until the next sampled tick (maintained by owner). */
+    std::uint64_t countdown = kNeverSample;
+
+    /** Open interrupt spans on the hooked core. */
+    std::uint32_t liveSpans = 0;
+};
+
+} // namespace xui
+
+#endif // XUI_UARCH_CYCLE_HOOK_HH

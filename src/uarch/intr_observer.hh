@@ -18,6 +18,7 @@
 #define XUI_UARCH_INTR_OBSERVER_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "des/time.hh"
 #include "uarch/interrupt_unit.hh"
@@ -67,6 +68,36 @@ class IntrLifecycleObserver
     virtual void intrStage(IntrStage stage, std::uint64_t span_id,
                            IntrSource source, std::uint8_t vector,
                            Cycles cycle, unsigned core_id) = 0;
+};
+
+/**
+ * Fans one core-side observer slot out to several observers (the
+ * lifecycle analog of TeeTracer): a core carries a single observer
+ * pointer, but a session may want both span reassembly and
+ * pipeline-pressure profiling on the same stream.
+ */
+class IntrObserverTee : public IntrLifecycleObserver
+{
+  public:
+    /** Append a sink (ignored when null). Order is call order. */
+    void add(IntrLifecycleObserver *obs)
+    {
+        if (obs != nullptr)
+            sinks_.push_back(obs);
+    }
+
+    void
+    intrStage(IntrStage stage, std::uint64_t span_id,
+              IntrSource source, std::uint8_t vector, Cycles cycle,
+              unsigned core_id) override
+    {
+        for (IntrLifecycleObserver *obs : sinks_)
+            obs->intrStage(stage, span_id, source, vector, cycle,
+                           core_id);
+    }
+
+  private:
+    std::vector<IntrLifecycleObserver *> sinks_;
 };
 
 } // namespace xui

@@ -175,6 +175,17 @@ OooCore::tick()
     dispatchStage();
     checkInterruptAccept();
     fetchStage();
+
+    // End-of-tick observation: every lifecycle callback of this
+    // cycle has already fired, so a hook sees a consistent
+    // (cycle, open-span, occupancy) snapshot. Read-only by
+    // contract; the fast path is two integer tests.
+    if (cycleHook_ != nullptr) {
+        bool live = cycleHook_->liveSpans != 0;
+        bool sampled = --cycleHook_->countdown == 0;
+        if (live || sampled)
+            cycleHook_->onCycle(*this, sampled, live);
+    }
 }
 
 bool
@@ -689,6 +700,7 @@ OooCore::issueStage()
 
         entry->issued = true;
         entry->readyAt = cycle_ + latency;
+        ++stats_.issuedUops;
         trace(TraceEvent::Issue, entry->seq, entry->pc,
               entry->uop.cls);
         ringReadyAt_[entry->seq & kRingMask] = entry->readyAt;

@@ -34,6 +34,7 @@
 #include "uarch/branch_predictor.hh"
 #include "uarch/cache.hh"
 #include "uarch/core_params.hh"
+#include "uarch/cycle_hook.hh"
 #include "uarch/interrupt_unit.hh"
 #include "uarch/intr_observer.hh"
 #include "uarch/mcrom.hh"
@@ -76,6 +77,7 @@ struct CoreStats
     std::uint64_t committedInsts = 0;
     std::uint64_t committedUops = 0;
     std::uint64_t fetchedUops = 0;
+    std::uint64_t issuedUops = 0;
     std::uint64_t squashedUops = 0;
     std::uint64_t squashes = 0;
     std::uint64_t branchMispredicts = 0;
@@ -112,6 +114,13 @@ class OooCore
     {
         intrObs_ = obs;
     }
+
+    /**
+     * Attach an end-of-tick observation hook (nullptr detaches).
+     * The hook is read-only by contract: attaching one never
+     * changes simulated behavior (digest-guarded).
+     */
+    void setCycleHook(CycleHook *hook) { cycleHook_ = hook; }
 
     /** Advance one cycle. */
     void tick();
@@ -175,10 +184,32 @@ class OooCore
     CoreStats &stats() { return stats_; }
     const CoreParams &params() const { return params_; }
     MemHierarchy &mem() { return mem_; }
+    const MemHierarchy &mem() const { return mem_; }
     BranchPredictor &predictor() { return predictor_; }
 
     /** Count of in-flight (un-committed) micro-ops. */
     std::size_t robOccupancy() const { return rob_.size(); }
+
+    /** Issue-queue occupancy (un-issued micro-ops in the ROB). */
+    unsigned iqOccupancy() const { return iqCount_; }
+    /** Load-queue occupancy. */
+    unsigned lqOccupancy() const { return lqCount_; }
+    /** Store-queue occupancy. */
+    unsigned sqOccupancy() const { return sqCount_; }
+    /** Micro-ops buffered between fetch and dispatch. */
+    std::size_t fetchBufferDepth() const
+    {
+        return fetchBuffer_.size();
+    }
+    /** Fetch is blocked (microcode entry / mispredict refill). */
+    bool frontendStalled() const
+    {
+        return frontendStallUntil_ > cycle_ || awaitRedirect_;
+    }
+    /** Drain-strategy wait for an empty ROB is in progress. */
+    bool drainWaiting() const { return drainWaiting_; }
+
+    const CoreStats &stats() const { return stats_; }
 
   private:
     /** One in-flight micro-op. */
@@ -282,6 +313,7 @@ class OooCore
     UarchSystem *system_ = nullptr;
     Tracer *tracer_ = nullptr;
     IntrLifecycleObserver *intrObs_ = nullptr;
+    CycleHook *cycleHook_ = nullptr;
 
     /**
      * Microcode routine tables; const so a core shared read-only

@@ -68,7 +68,8 @@ checkInterruptFacts(const CoreStats &s, ScenarioResult &out)
 
 ScenarioResult
 runScenario(const ScenarioConfig &cfg, TraceLog *capture,
-            Tracer *extraTracer, IntrLifecycleObserver *observer)
+            Tracer *extraTracer, IntrLifecycleObserver *observer,
+            const std::function<void(UarchSystem &)> &preRun)
 {
     ScenarioResult out;
     Program prog = makeFuzzProgram(cfg.programSeed, cfg.program);
@@ -100,6 +101,9 @@ runScenario(const ScenarioConfig &cfg, TraceLog *capture,
     core.kbTimer().configure(true, 0x21);
     core.kbTimer().setTimer(0, cfg.timerPeriod,
                             KbTimerMode::Periodic);
+
+    if (preRun)
+        preRun(sys);
 
     core.runUntilCommitted(cfg.targetInsts, cfg.maxCycles);
     core.runCycles(cfg.extraCycles);

@@ -15,6 +15,7 @@
 #define XUI_VERIFY_SCENARIO_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 
 namespace xui
 {
+
+class UarchSystem;
 
 /** One verification workload, fully reproducible from this struct. */
 struct ScenarioConfig
@@ -96,11 +99,16 @@ struct ScenarioResult
  * @param extraTracer when non-null, an additional tee'd trace sink.
  * @param observer when non-null, receives interrupt-lifecycle
  *        stage callbacks (src/obs span tracking).
+ * @param preRun when non-empty, called after the core is built but
+ *        before the run starts — the hook for attaching extra
+ *        instrumentation (e.g. the pipeline-pressure profiler) so
+ *        digest-neutrality can be pinned over the golden corpus.
  */
-ScenarioResult runScenario(const ScenarioConfig &cfg,
-                           TraceLog *capture = nullptr,
-                           Tracer *extraTracer = nullptr,
-                           IntrLifecycleObserver *observer = nullptr);
+ScenarioResult
+runScenario(const ScenarioConfig &cfg, TraceLog *capture = nullptr,
+            Tracer *extraTracer = nullptr,
+            IntrLifecycleObserver *observer = nullptr,
+            const std::function<void(UarchSystem &)> &preRun = {});
 
 /** Report from a double-run determinism check. */
 struct DeterminismReport

@@ -184,6 +184,9 @@ TEST(SimulationDeterminism, MakeRngStreamsReproducible)
 // ---------------------------------------------------------------
 
 #include "exec/sweep.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/trace_export.hh"
 #include "uarch/program.hh"
 #include "uarch/uarch_system.hh"
 #include "verify/digest_tracer.hh"
@@ -361,6 +364,61 @@ TEST(GoldenCorpus, DigestsPinnedAcrossSeedsAndModes)
         EXPECT_EQ(r.committedInsts, g.committedInsts) << at;
         EXPECT_EQ(r.cycles, g.cycles) << at;
     }
+}
+
+TEST(GoldenCorpus, ProfilingIsDigestNeutral)
+{
+    // The pipeline-pressure profiler only *reads* core state from
+    // the end-of-tick hook: re-running the whole corpus with
+    // aggressive profiling (stride-256 counter tracks with bursts,
+    // tax attribution) must reproduce every golden digest bit for
+    // bit. Any drift here means observation perturbed the machine.
+    const std::size_t n = std::size(kCorpusGoldens);
+    std::vector<ScenarioResult> results = exec::sweep(
+        n, 4, [](std::size_t i) {
+            const CorpusGolden &g = kCorpusGoldens[i];
+            ProfileConfig pc;
+            pc.counterStride = 256;
+            pc.tax = true;
+            MetricsRegistry reg;
+            TraceJsonWriter trace;
+            PipelinePressureProfiler prof(pc, &reg, &trace);
+            return runScenario(
+                corpusConfig(g.seed, g.strategy), nullptr, nullptr,
+                &prof, [&prof](UarchSystem &sys) {
+                    prof.attachCore(sys.core(0));
+                });
+        });
+    for (std::size_t i = 0; i < n; ++i) {
+        const CorpusGolden &g = kCorpusGoldens[i];
+        const ScenarioResult &r = results[i];
+        std::string at = "seed " + std::to_string(g.seed) + " " +
+            strategyName(g.strategy) + " (profiled)";
+        EXPECT_EQ(r.fullDigest, g.fullDigest) << at;
+        EXPECT_EQ(r.archDigest, g.archDigest) << at;
+        EXPECT_EQ(r.eventCount, g.eventCount) << at;
+        EXPECT_EQ(r.cycles, g.cycles) << at;
+    }
+
+    // The corpus runs must actually have exercised the profiler:
+    // one row re-run single-threaded pins samples, bursts, and tax
+    // rollups all nonzero under the corpus recipe.
+    ProfileConfig pc;
+    pc.counterStride = 256;
+    pc.tax = true;
+    MetricsRegistry reg;
+    TraceJsonWriter trace;
+    PipelinePressureProfiler prof(pc, &reg, &trace);
+    runScenario(
+        corpusConfig(1, DeliveryStrategy::Tracked), nullptr,
+        nullptr, &prof,
+        [&prof](UarchSystem &sys) { prof.attachCore(sys.core(0)); });
+    EXPECT_GT(prof.samplesEmitted(), 0u);
+    EXPECT_GT(prof.burstSamples(), 0u);
+    const Counter *spans =
+        reg.findCounter("core0.tax.src.kbtimer.spans");
+    ASSERT_NE(spans, nullptr);
+    EXPECT_GT(spans->value(), 0u);
 }
 
 TEST(GoldenCorpus, ParallelSweepBitIdenticalToSerial)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -17,8 +18,10 @@
 
 #include "../bench/bench_util.hh"
 #include "obs/metrics.hh"
+#include "obs/sampler.hh"
 #include "obs/span.hh"
 #include "obs/trace_export.hh"
+#include "uarch/intr_observer.hh"
 #include "uarch/uarch_system.hh"
 #include "verify/digest_tracer.hh"
 #include "workloads/kernels.hh"
@@ -578,4 +581,277 @@ TEST(BenchArgsDeathTest, HelpExitsZero)
 {
     EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0),
                 "");
+}
+
+TEST(BenchArgs, ProfilingFlagsParse)
+{
+    bench::Options o = parse({"--counter-stride", "128", "--tax"});
+    EXPECT_EQ(o.counterStride, 128u);
+    EXPECT_TRUE(o.tax);
+    o = parse({});
+    EXPECT_EQ(o.counterStride, 0u);
+    EXPECT_FALSE(o.tax);
+}
+
+TEST(BenchArgsDeathTest, CounterStrideGarbageExitsTwo)
+{
+    EXPECT_EXIT(parse({"--counter-stride", "fast"}),
+                ::testing::ExitedWithCode(2),
+                "--counter-stride needs a non-negative integer, "
+                "got 'fast'");
+    EXPECT_EXIT(parse({"--counter-stride", "-1"}),
+                ::testing::ExitedWithCode(2),
+                "--counter-stride needs a non-negative integer");
+    EXPECT_EXIT(parse({"--counter-stride", "10k"}),
+                ::testing::ExitedWithCode(2),
+                "--counter-stride needs a non-negative integer");
+    EXPECT_EXIT(parse({"--counter-stride"}),
+                ::testing::ExitedWithCode(2),
+                "--counter-stride needs a value");
+}
+
+// ----------------------------------------------------------------------
+// Pipeline-pressure profiler: counter tracks + interrupt tax
+// ----------------------------------------------------------------------
+
+TEST(PipelineProfiler, CounterTracksEmitValidPerfettoShape)
+{
+    Program p = handlerLoop();
+    TraceJsonWriter out;
+    out.nameProcess(kTracePidUarch, "uarch");
+    out.nameThread(kTracePidUarch, 0, "core0");
+    ProfileConfig cfg;
+    cfg.counterStride = 500;
+    PipelinePressureProfiler prof(cfg, nullptr, &out);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(42);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&prof);
+    prof.attachCore(core);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(5), KbTimerMode::Periodic);
+    core.runCycles(50000);
+
+    // Strided coverage plus full-resolution bursts around the timer
+    // spans: strictly more samples than the stride alone explains,
+    // strictly fewer than every cycle.
+    EXPECT_GT(prof.samplesEmitted(), 50000u / 500u);
+    EXPECT_LT(prof.samplesEmitted(), 50000u);
+    EXPECT_GT(prof.burstSamples(), 0u);
+
+    std::ostringstream os;
+    out.write(os);
+    std::string json = os.str();
+    EXPECT_TRUE(isValidJsonShape(json)) << json.substr(0, 400);
+    // Perfetto counter tracks: 'C' events on the core's pid with
+    // one series per args key.
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"core0 occupancy\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"core0 rates\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"core0 mem\""),
+              std::string::npos);
+    for (const char *series :
+         {"\"rob\"", "\"iq\"", "\"lq\"", "\"sq\"", "\"fetchbuf\"",
+          "\"fetch\"", "\"issue\"", "\"retire\"", "\"ipc\"",
+          "\"l1_mpki\"", "\"l2_mpki\"", "\"llc_mpki\"",
+          "\"mispredicts\""})
+        EXPECT_NE(json.find(series), std::string::npos) << series;
+}
+
+TEST(PipelineProfiler, SamplingOffEmitsNothing)
+{
+    Program p = handlerLoop();
+    TraceJsonWriter out;
+    ProfileConfig cfg; // stride 0, tax off
+    PipelinePressureProfiler prof(cfg, nullptr, &out);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(42);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&prof);
+    prof.attachCore(core);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(5), KbTimerMode::Periodic);
+    core.runCycles(50000);
+    EXPECT_EQ(prof.samplesEmitted(), 0u);
+    EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(PipelineProfiler, TaxBucketsTelescopeToSpanEndToEnd)
+{
+    for (DeliveryStrategy strategy :
+         {DeliveryStrategy::Tracked, DeliveryStrategy::Flush,
+          DeliveryStrategy::Drain}) {
+        SCOPED_TRACE(static_cast<int>(strategy));
+        Program p = handlerLoop();
+        MetricsRegistry reg;
+        IntrSpanTracker spans(reg);
+        ProfileConfig cfg;
+        cfg.tax = true;
+        PipelinePressureProfiler prof(cfg, &reg, nullptr);
+        IntrObserverTee tee;
+        tee.add(&spans);
+        tee.add(&prof);
+        CoreParams params;
+        params.strategy = strategy;
+        UarchSystem sys(42);
+        OooCore &core = sys.addCore(params, &p);
+        sys.setIntrObserver(&tee);
+        prof.attachCore(core);
+        core.kbTimer().configure(true, 0x21);
+        core.kbTimer().setTimer(0, usToCycles(5),
+                                KbTimerMode::Periodic);
+        core.runCycles(100000);
+
+        // Each closed span's counted cycles partition into exactly
+        // one bucket per cycle, so per source the buckets telescope
+        // to the summed end-to-end span length.
+        std::uint64_t e2e_sum = 0, closed = 0;
+        for (const IntrSpan &s : spans.spans()) {
+            if (!s.complete)
+                continue;
+            e2e_sum += s.endToEnd();
+            ++closed;
+        }
+        ASSERT_GT(closed, 0u);
+        auto tax = [&reg](const std::string &stream,
+                          const char *leaf) {
+            const Counter *c = reg.findCounter(
+                "core0.tax." + stream + "." + leaf);
+            return c != nullptr ? c->value() : 0;
+        };
+        EXPECT_EQ(tax("src.kbtimer", "spans"), closed);
+        EXPECT_EQ(tax("src.kbtimer", "flush") +
+                      tax("src.kbtimer", "refill") +
+                      tax("src.kbtimer", "ucode") +
+                      tax("src.kbtimer", "handler") +
+                      tax("src.kbtimer", "shadow"),
+                  e2e_sum);
+        // The per-vector stream mirrors the per-source stream (the
+        // scenario has a single source on a single vector).
+        for (const char *leaf :
+             {"flush", "refill", "ucode", "handler", "shadow",
+              "spans"})
+            EXPECT_EQ(tax("vec33", leaf),
+                      tax("src.kbtimer", leaf))
+                << leaf;
+    }
+}
+
+TEST(PipelineProfiler, TaxOnlyRunEmitsNoTraceEvents)
+{
+    // Tax attribution must not need (or touch) a trace writer.
+    Program p = handlerLoop();
+    MetricsRegistry reg;
+    ProfileConfig cfg;
+    cfg.tax = true;
+    PipelinePressureProfiler prof(cfg, &reg, nullptr);
+    CoreParams params;
+    params.strategy = DeliveryStrategy::Tracked;
+    UarchSystem sys(9);
+    OooCore &core = sys.addCore(params, &p);
+    sys.setIntrObserver(&prof);
+    prof.attachCore(core);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, usToCycles(5), KbTimerMode::Periodic);
+    core.runCycles(50000);
+    EXPECT_EQ(prof.samplesEmitted(), 0u);
+    EXPECT_NE(reg.findCounter("core0.tax.src.kbtimer.spans"),
+              nullptr);
+}
+
+// ----------------------------------------------------------------------
+// Drop accounting: samples are sacrificed before spans at the cap
+// ----------------------------------------------------------------------
+
+TEST(TraceExport, SamplesDropBeforeSpansAtTheCap)
+{
+    TraceJsonWriter out(4);
+    // Fill the buffer with counter samples; a fifth is dropped
+    // outright (it is itself a sample).
+    for (int i = 0; i < 5; ++i)
+        out.counter("track", static_cast<Cycles>(i), 0, 0,
+                    "{\"v\": 1}");
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(out.droppedSamples(), 1u);
+    EXPECT_EQ(out.droppedSpans(), 0u);
+
+    // Span events now evict buffered samples (oldest first); only
+    // once no samples remain does a span itself get dropped.
+    for (int i = 0; i < 6; ++i)
+        out.instant("evt", "test", static_cast<Cycles>(10 + i), 0,
+                    0);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(out.droppedSamples(), 5u);
+    EXPECT_EQ(out.droppedSpans(), 2u);
+    EXPECT_EQ(out.dropped(), 7u);
+
+    std::ostringstream os;
+    out.write(os);
+    std::string json = os.str();
+    EXPECT_TRUE(isValidJsonShape(json)) << json;
+    // Every surviving payload event is a span; all samples went.
+    EXPECT_EQ(json.find("\"ph\": \"C\""), std::string::npos);
+    std::size_t instants = 0;
+    for (std::size_t at = json.find("\"ph\": \"i\"");
+         at != std::string::npos;
+         at = json.find("\"ph\": \"i\"", at + 1))
+        ++instants;
+    EXPECT_EQ(instants, 4u);
+}
+
+TEST(TraceExport, MetadataBypassesTheCap)
+{
+    TraceJsonWriter out(2);
+    out.counter("t", 0, 0, 0, "{\"v\": 1}");
+    out.counter("t", 1, 0, 0, "{\"v\": 2}");
+    out.nameProcess(0, "uarch");
+    out.nameThread(0, 0, "core0");
+    EXPECT_EQ(out.dropped(), 0u);
+    std::ostringstream os;
+    out.write(os);
+    EXPECT_NE(os.str().find("\"ph\": \"M\""), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// CSV snapshot
+// ----------------------------------------------------------------------
+
+TEST(MetricsRegistry, CsvSnapshotHasHeaderAndEscapes)
+{
+    MetricsRegistry reg;
+    reg.counter("plain.counter").inc(3);
+    reg.counter("weird,\"name\"").inc(7);
+    reg.gauge("g").set(1.5);
+    reg.latency("lat").record(10);
+
+    std::string path = ::testing::TempDir() + "obs_metrics.csv";
+    ASSERT_TRUE(reg.writeCsvFile(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header,
+              "kind,name,value,count,mean,min,max,p50,p95,p99,p999");
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(rest.find("counter,plain.counter,3"),
+              std::string::npos);
+    // RFC 4180: the whole field quoted, embedded quotes doubled.
+    EXPECT_NE(rest.find("\"weird,\"\"name\"\"\""),
+              std::string::npos)
+        << rest;
+    EXPECT_NE(rest.find("gauge,g,1.5"), std::string::npos);
+    EXPECT_NE(rest.find("latency,lat,"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvSnapshotReportsUnwritablePath)
+{
+    MetricsRegistry reg;
+    reg.counter("c").inc(1);
+    EXPECT_FALSE(
+        reg.writeCsvFile("/nonexistent-dir/sub/metrics.csv"));
 }

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * CLI wrapper for the perf-regression diff (src/obs/perfdiff.hh):
+ * compares two --metrics-json / BENCH_*.json snapshots under
+ * per-metric tolerance rules and exits non-zero on regression —
+ * CI's perf guard over the committed bench references.
+ */
+
+#include "obs/perfdiff.hh"
+
+int
+main(int argc, char **argv)
+{
+    return xui::perfdiffMain(argc, argv);
+}
