@@ -155,6 +155,14 @@ struct Options
      * of the default figure sweep.
      */
     double offeredLoad = 0.0;
+    /**
+     * `--rt-vector V`: latency-critical user vector (< 64) for the
+     * mixed-criticality co-tenancy section (maxlat bench). 256 =
+     * unset; the bench runs its default sweep.
+     */
+    std::uint64_t rtVector = 256;
+    /** `--priority P`: the RT vector's priority level (< 4). */
+    std::uint64_t rtPriority = kNumPriorityLevels - 1;
 };
 
 inline void
@@ -165,7 +173,8 @@ printUsage(std::FILE *out, const char *prog)
                  "[--metrics-json FILE] [--trace-json FILE]\n"
                  "       [--counter-stride N] [--tax]\n"
                  "       [--policy %s]\n"
-                 "       [--itr-ns N] [--offered-load X]\n",
+                 "       [--itr-ns N] [--offered-load X]\n"
+                 "       [--rt-vector V] [--priority P]\n",
                  prog, policyUsageNames());
 }
 
@@ -257,6 +266,42 @@ parseArgs(int argc, char **argv)
                              "%s: --offered-load needs a positive "
                              "number, got '%s'\n",
                              argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--rt-vector") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --rt-vector needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parseU64Strict(v, opts.rtVector) ||
+                opts.rtVector >= 64) {
+                std::fprintf(stderr,
+                             "%s: --rt-vector needs an integer in "
+                             "[0, 63], got '%s'\n",
+                             argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--priority") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --priority needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parseU64Strict(v, opts.rtPriority) ||
+                opts.rtPriority >= kNumPriorityLevels) {
+                std::fprintf(stderr,
+                             "%s: --priority needs an integer in "
+                             "[0, %u], got '%s'\n",
+                             argv[0], kNumPriorityLevels - 1, v);
                 printUsage(stderr, argv[0]);
                 std::exit(2);
             }

@@ -27,6 +27,7 @@ const char *const kScenarioNames[kNumScenarios] = {
     "interval_signals",
     "coalesce_drop",
     "itr_misfire",
+    "preempt_storm",
 };
 
 std::uint64_t
@@ -322,6 +323,44 @@ buildItrMisfire(Cell &c)
     }
 }
 
+/**
+ * Mixed-criticality co-tenancy on one resident receiver: three
+ * vectors at priorities 0/1/3 whose handler occupancies are chosen
+ * so that higher-priority arrivals almost always land mid-frame and
+ * preempt. The receiver never deschedules (the occupancy engine is
+ * not scheduling-aware); the grid aims faults at the preempt-save
+ * window, so lost and torn frame spills must come back through the
+ * replay path or be caught by the ledger, never vanish silently.
+ */
+void
+buildPreemptStorm(Cell &c)
+{
+    ThreadId recv = c.makeReceiver(1);
+    const unsigned vecs[3] = {1, 2, 3};
+    const unsigned prios[3] = {0, 1, 3};
+    const Cycles frame[3] = {4000, 1500, 300};
+    const unsigned sends[3] = {24, 32, 48};
+    int idx[3];
+    for (int i = 0; i < 3; ++i) {
+        idx[i] = c.kernel.registerSender(
+            recv, static_cast<std::uint8_t>(vecs[i]));
+        assert(idx[i] >= 0);
+        DeliveryPolicy p;
+        p.priority = clampPriority(prios[i]);
+        c.kernel.setDeliveryPolicy(recv, vecs[i], p);
+        c.kernel.setHandlerCost(recv, vecs[i], frame[i]);
+    }
+    for (int i = 0; i < 3; ++i) {
+        for (Cycles t : drawTimes(c.rng, sends[i],
+                                  c.cfg.horizon * 3 / 4)) {
+            int ix = idx[i];
+            c.sim.queue().scheduleAt(t, [&c, ix] {
+                c.kernel.senduipi(ix);
+            });
+        }
+    }
+}
+
 void
 buildScenario(Cell &c)
 {
@@ -346,6 +385,9 @@ buildScenario(Cell &c)
         return;
       case ScenarioKind::ItrMisfire:
         buildItrMisfire(c);
+        return;
+      case ScenarioKind::PreemptStorm:
+        buildPreemptStorm(c);
         return;
       case ScenarioKind::kCount:
         break;
@@ -442,6 +484,12 @@ runCell(const CellConfig &cfg)
         res.senderRetries = cell.sender->stats().retries;
         res.senderFallbacks = cell.sender->stats().fallbacks;
     }
+    res.preemptions =
+        counterValue(cell.metrics, "kernel.preempt.preemptions");
+    res.preemptSaveDropped =
+        counterValue(cell.metrics, "kernel.preempt.save_dropped");
+    res.preemptResumeReplayed = counterValue(
+        cell.metrics, "kernel.preempt.resume_replayed");
     res.passed = res.violations.empty();
     return res;
 }
@@ -501,6 +549,10 @@ runGrid(const GridConfig &cfg)
                 so.dropModerationFlush = true;
             if (rep.kind == ScenarioKind::ItrMisfire)
                 so.delayModerationFlush = true;
+            if (rep.kind == ScenarioKind::PreemptStorm) {
+                so.dropPreemptSave = true;
+                so.duplicatePreemptSave = true;
+            }
             cc.schedule = fault::generateSchedule(
                 cellScheduleSeed(rep.kind, rep.seed), so);
             cc.recovery = cfg.recovery;

@@ -51,6 +51,11 @@ enum class ScenarioKind : std::uint8_t
     /** Heavy ITR suppression with delayed flushes racing deschedule
      *  windows: flushes misfire against a parked receiver. */
     ItrMisfire,
+    /** Mixed-criticality co-tenancy through the occupancy engine:
+     *  three priority levels of handler frames preempting each
+     *  other, with faults aimed at the preempt-save window
+     *  (Site::PreemptSave drops and torn double-saves). */
+    PreemptStorm,
     kCount,
 };
 
@@ -119,6 +124,11 @@ struct CellResult
     // SenderRetry only.
     std::uint64_t senderRetries = 0;
     std::uint64_t senderFallbacks = 0;
+
+    // PreemptStorm only (kernel.preempt.*).
+    std::uint64_t preemptions = 0;
+    std::uint64_t preemptSaveDropped = 0;
+    std::uint64_t preemptResumeReplayed = 0;
 };
 
 /** Deterministic schedule seed for a (kind, scenario-seed) cell. */

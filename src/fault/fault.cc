@@ -13,7 +13,7 @@ namespace
 constexpr const char *kSiteNames[] = {
     "notify_ipi", "kbtimer_fire", "kbtimer_poll",
     "forward_dispatch", "deschedule", "raise_uarch",
-    "moderation_flush",
+    "moderation_flush", "preempt_save",
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
               kNumSites);
@@ -177,6 +177,12 @@ generateSchedule(std::uint64_t seed, const ScheduleOptions &opts)
         classes.push_back({Site::ModerationFlush, Action::Drop});
     if (opts.delayModerationFlush)
         classes.push_back({Site::ModerationFlush, Action::Delay});
+    // Appended after every pre-existing class so schedules generated
+    // with the older option set stay byte-identical.
+    if (opts.dropPreemptSave)
+        classes.push_back({Site::PreemptSave, Action::Drop});
+    if (opts.duplicatePreemptSave)
+        classes.push_back({Site::PreemptSave, Action::Duplicate});
 
     Schedule sched;
     if (classes.empty())

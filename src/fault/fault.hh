@@ -52,6 +52,8 @@ enum class Site : std::uint8_t
     RaiseUarch,
     /** A scheduled moderation-window flush is about to deliver. */
     ModerationFlush,
+    /** Kernel occupancy engine is saving a preempted handler frame. */
+    PreemptSave,
     kCount,
 };
 
@@ -148,6 +150,11 @@ struct ScheduleOptions
     // generated before this layer existed stays byte-identical.
     bool dropModerationFlush = false;
     bool delayModerationFlush = false;
+    // Preempt-save faults only make sense against a kernel with
+    // handler occupancy costs (the priority engine) configured, so
+    // they default off for the same byte-identical reason.
+    bool dropPreemptSave = false;
+    bool duplicatePreemptSave = false;
 };
 
 /**

@@ -59,11 +59,36 @@ enum class TriggerMode : std::uint8_t
     Level,
 };
 
+/**
+ * Mixed-criticality priority levels per vector (RT-ULI style).
+ * Level 0 is the default (best-effort, the legacy protocol); higher
+ * levels preempt running lower-level handlers. Four levels match the
+ * latency-critical / best-effort co-tenancy scenarios.
+ */
+constexpr unsigned kNumPriorityLevels = 4;
+
+/** Clamp a requested priority into the supported level range. */
+constexpr std::uint8_t
+clampPriority(unsigned prio)
+{
+    return static_cast<std::uint8_t>(
+        prio < kNumPriorityLevels ? prio : kNumPriorityLevels - 1);
+}
+
 /** Per-vector delivery policy. The default is the legacy protocol. */
 struct DeliveryPolicy
 {
     DeliveryBehavior behavior = DeliveryBehavior::NextOrMissed;
     TriggerMode trigger = TriggerMode::Edge;
+    /**
+     * Delivery priority level (0 = best-effort default). A pending
+     * vector whose level exceeds the running handler's preempts it:
+     * the handler frame is saved (preempt_save), the higher vector
+     * delivers nested, and the preempted handler resumes afterwards
+     * (preempt_restore). Level 0 everywhere is bit-identical to the
+     * pre-priority protocol.
+     */
+    std::uint8_t priority = 0;
 };
 
 const char *deliveryBehaviorName(DeliveryBehavior b);

@@ -123,7 +123,22 @@ PipelinePressureProfiler::intrStage(IntrStage stage,
                                      cycle + cfg_.burstWindow);
         }
         break;
+      case IntrStage::PreemptSave:
+        // Preempting delivery: the frame spill is microcode on the
+        // nested span's critical path — bucket it with ucode.
+        if (tax) {
+            auto it = p->open.find(span_id);
+            if (it != p->open.end())
+                it->second.phase = Phase::Ucode;
+        }
+        break;
       case IntrStage::Return:
+      case IntrStage::PreemptResume:
+        // Tax rolls up at the first of Return / PreemptResume (the
+        // map erase makes the second a no-op): a preempting span's
+        // restore tail is not tax-attributed, which keeps the
+        // telescoping guarantee for the default (no-preemption)
+        // configuration untouched.
         if (tax) {
             auto it = p->open.find(span_id);
             if (it != p->open.end()) {

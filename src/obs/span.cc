@@ -68,9 +68,35 @@ IntrSpanTracker::intrStage(IntrStage stage, std::uint64_t span_id,
         auto it = open_.find(k);
         if (it == open_.end())
             return;
+        if (it->second.preempting) {
+            // Preempting span: uiret is not the end — the restore
+            // cost still belongs to it (closed at PreemptResume).
+            it->second.returnedAt = cycle;
+            return;
+        }
         IntrSpan span = it->second;
         open_.erase(it);
         span.returnedAt = cycle;
+        span.complete = true;
+        finish(span);
+        spans_.push_back(span);
+        return;
+      }
+      case IntrStage::PreemptSave: {
+        auto it = open_.find(k);
+        if (it != open_.end()) {
+            it->second.preempting = true;
+            it->second.saveStartAt = cycle;
+        }
+        return;
+      }
+      case IntrStage::PreemptResume: {
+        auto it = open_.find(k);
+        if (it == open_.end())
+            return;
+        IntrSpan span = it->second;
+        open_.erase(it);
+        span.restoredAt = cycle;
         span.complete = true;
         finish(span);
         spans_.push_back(span);
@@ -97,6 +123,8 @@ IntrSpanTracker::streamIds(unsigned core, IntrSource source)
     ids.e2e = registry_.internLatency(base + "e2e");
     ids.delivered = registry_.internCounter(base + "delivered");
     ids.reinjections = kNoId;
+    ids.preemptSave = kNoId;
+    ids.preemptRestore = kNoId;
     return streams_.emplace(k, ids).first->second;
 }
 
@@ -118,6 +146,21 @@ IntrSpanTracker::finish(IntrSpan &span)
                 ".reinjections");
         registry_.counterAt(ids.reinjections).inc(span.reinjections);
     }
+    if (span.preempting) {
+        if (ids.preemptSave == kNoId) {
+            std::string base = prefix_ + "core" +
+                std::to_string(span.core) + ".intr." +
+                intrSourceName(span.source) + ".";
+            ids.preemptSave =
+                registry_.internLatency(base + "preempt_save");
+            ids.preemptRestore =
+                registry_.internLatency(base + "preempt_restore");
+        }
+        registry_.latencyAt(ids.preemptSave)
+            .record(span.preemptSave());
+        registry_.latencyAt(ids.preemptRestore)
+            .record(span.preemptRestore());
+    }
 }
 
 void
@@ -128,21 +171,35 @@ IntrSpanTracker::exportTo(TraceJsonWriter &out) const
         std::string args = "{\"span\": " + std::to_string(span.id) +
             ", \"vector\": " + std::to_string(span.vector) +
             ", \"reinjections\": " +
-            std::to_string(span.reinjections) + "}";
+            std::to_string(span.reinjections) +
+            (span.preempting ? ", \"preempting\": true" : "") + "}";
         out.instant("raise " + src, "intr", span.raisedAt,
                     kTracePidUarch, span.core, args);
         out.complete("pend " + src, "intr", span.raisedAt,
                      span.acceptedAt, kTracePidUarch, span.core,
                      args);
-        out.complete("inject_wait " + src, "intr", span.acceptedAt,
-                     span.injectedAt, kTracePidUarch, span.core,
-                     args);
+        if (span.preempting) {
+            out.complete("inject_wait " + src, "intr",
+                         span.acceptedAt, span.saveStartAt,
+                         kTracePidUarch, span.core, args);
+            out.complete("preempt_save " + src, "intr",
+                         span.saveStartAt, span.injectedAt,
+                         kTracePidUarch, span.core, args);
+        } else {
+            out.complete("inject_wait " + src, "intr",
+                         span.acceptedAt, span.injectedAt,
+                         kTracePidUarch, span.core, args);
+        }
         out.complete("ucode " + src, "intr", span.injectedAt,
                      span.deliveredAt, kTracePidUarch, span.core,
                      args);
         out.complete("handler " + src, "intr", span.deliveredAt,
                      span.returnedAt, kTracePidUarch, span.core,
                      args);
+        if (span.preempting)
+            out.complete("preempt_restore " + src, "intr",
+                         span.returnedAt, span.restoredAt,
+                         kTracePidUarch, span.core, args);
     }
 }
 

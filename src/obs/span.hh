@@ -19,6 +19,18 @@
  * — so their sum is exactly the end-to-end raise -> uiret latency,
  * which is also recorded (name suffix "e2e"). Registry names follow
  * "<prefix><core>.intr.<source>.<stage>".
+ *
+ * Preempting spans (priority preemption of a running handler) add
+ * two stages and keep the telescoping exact:
+ *
+ *   inject_wait     = save_start - accept   (boundary wait)
+ *   preempt_save    = inject - save_start   (frame spill microcode)
+ *   preempt_restore = resume - return       (restore after uiret)
+ *
+ * and e2e = resume - raise, so pend + inject_wait + preempt_save +
+ * ucode + handler + preempt_restore == e2e exactly. Non-preempting
+ * spans record zero-less streams (the two extra recorders are
+ * interned lazily, so priority-off runs register nothing new).
  */
 
 #ifndef XUI_OBS_SPAN_HH
@@ -49,16 +61,35 @@ struct IntrSpan
     Cycles injectedAt = 0;
     Cycles deliveredAt = 0;
     Cycles returnedAt = 0;
+    /** Preempting spans: preempt-save began / handler restored. */
+    Cycles saveStartAt = 0;
+    Cycles restoredAt = 0;
     /** Squash-induced re-injections before first commit. */
     unsigned reinjections = 0;
-    /** All five timestamps latched (Return observed). */
+    /** This delivery preempted a lower-priority handler. */
+    bool preempting = false;
+    /** All timestamps latched (Return / PreemptResume observed). */
     bool complete = false;
 
     Cycles pend() const { return acceptedAt - raisedAt; }
-    Cycles injectWait() const { return injectedAt - acceptedAt; }
+    Cycles injectWait() const
+    {
+        return (preempting ? saveStartAt : injectedAt) - acceptedAt;
+    }
+    Cycles preemptSave() const
+    {
+        return preempting ? injectedAt - saveStartAt : 0;
+    }
     Cycles ucode() const { return deliveredAt - injectedAt; }
     Cycles handler() const { return returnedAt - deliveredAt; }
-    Cycles endToEnd() const { return returnedAt - raisedAt; }
+    Cycles preemptRestore() const
+    {
+        return preempting ? restoredAt - returnedAt : 0;
+    }
+    Cycles endToEnd() const
+    {
+        return (preempting ? restoredAt : returnedAt) - raisedAt;
+    }
 };
 
 /** Name of an interrupt source (stable, registry-safe). */
@@ -117,6 +148,10 @@ class IntrSpanTracker : public IntrLifecycleObserver
         /** Interned on first squash-reinjection so streams without
          * reinjections register no counter (kNoId until then). */
         MetricId reinjections;
+        /** Interned on the first preempting span (kNoId until
+         * then): priority-off runs register nothing extra. */
+        MetricId preemptSave;
+        MetricId preemptRestore;
     };
 
     static constexpr MetricId kNoId = ~MetricId(0);

@@ -46,6 +46,18 @@ struct CostModel
     /** clui / stui pair guarding a critical section (Table 2). */
     Cycles cluiStuiPair = 34;
 
+    // ----- mixed-criticality preemption costs ------------------------
+    /**
+     * Saving a running user handler's frame when a higher-priority
+     * vector preempts it (register file + resume PC spill, microcode
+     * preempt-save routine). Sized like a short delivery: well under
+     * a context switch, above the tracked receive cost's ucode tail.
+     */
+    Cycles preemptSave = 180;
+    /** Restoring a preempted handler frame after the nested handler
+     *  returns (pops + UIF restore + redirect). */
+    Cycles preemptRestore = 150;
+
     // ----- OS service costs ------------------------------------------
     /** Kernel context switch (~1.2 us of the signal cost, §2). */
     Cycles contextSwitch = 2400;

@@ -1,5 +1,6 @@
 #include "os/kernel.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/kernel_trace.hh"
@@ -102,10 +103,12 @@ Kernel::drainParked(ThreadId id)
         for (unsigned v = parked.findFirst(); v < 256;
              v = parked.findFirst()) {
             parked.clear(v);
-            if (t.handler)
-                t.handler(v);
-            if (ledger_ != nullptr)
-                ledger_->onDelivered(fwdKey(id, v));
+            if (!deliverViaEngine(id, v, fwdKey(id, v))) {
+                if (t.handler)
+                    t.handler(v);
+                if (ledger_ != nullptr)
+                    ledger_->onDelivered(fwdKey(id, v));
+            }
             const DeliveryPolicy *p = policyFor(t, v);
             if (p != nullptr &&
                 p->behavior == DeliveryBehavior::NextOrMissed) {
@@ -129,10 +132,12 @@ Kernel::scanUpid(ThreadId id)
     unsigned delivered = 0;
     for (unsigned v = 0; v < kNumUserVectors; ++v) {
         if ((pir >> v) & 1) {
-            if (t.handler)
-                t.handler(v);
-            if (ledger_ != nullptr)
-                ledger_->onDelivered(uipiKey(id, v));
+            if (!deliverViaEngine(id, v, uipiKey(id, v))) {
+                if (t.handler)
+                    t.handler(v);
+                if (ledger_ != nullptr)
+                    ledger_->onDelivered(uipiKey(id, v));
+            }
             if (inResumeDrain_) {
                 const DeliveryPolicy *p = policyFor(t, v);
                 if (p != nullptr &&
@@ -231,12 +236,14 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
         bool missed = t.timerSave.armed &&
             core.timer.restore(t.timerSave, sim_.now());
         if (missed && t.handler) {
-            t.handler(t.timerVector);
             cost += costs_.kbTimerReceive;
-            if (ledger_ != nullptr) {
-                if (!t.timerDuePosted)
-                    ledger_->onPosted(kbKey(id, t.timerVector));
-                ledger_->onDelivered(kbKey(id, t.timerVector));
+            if (ledger_ != nullptr && !t.timerDuePosted)
+                ledger_->onPosted(kbKey(id, t.timerVector));
+            if (!deliverViaEngine(id, t.timerVector,
+                                  kbKey(id, t.timerVector))) {
+                t.handler(t.timerVector);
+                if (ledger_ != nullptr)
+                    ledger_->onDelivered(kbKey(id, t.timerVector));
             }
             if (t.timerDuePosted) {
                 t.timerDuePosted = false;
@@ -260,10 +267,13 @@ Kernel::scheduleOn(ThreadId id, CoreId core_id)
     // A pending interval-timer signal fires on resume.
     if (t.pendingSignal) {
         t.pendingSignal = false;
-        if (t.handler)
-            t.handler(t.pendingSigno);
-        if (ledger_ != nullptr)
-            ledger_->onDelivered(sigKey(id, t.pendingSigno));
+        if (!deliverViaEngine(id, t.pendingSigno,
+                              sigKey(id, t.pendingSigno))) {
+            if (t.handler)
+                t.handler(t.pendingSigno);
+            if (ledger_ != nullptr)
+                ledger_->onDelivered(sigKey(id, t.pendingSigno));
+        }
         ++signalsDelivered_;
         bump(mSignals_);
         cost += costs_.signalReceive;
@@ -566,6 +576,257 @@ Kernel::moderationFlush(ThreadId id, unsigned vector)
 }
 
 void
+Kernel::setHandlerCost(ThreadId id, unsigned vector, Cycles cost)
+{
+    thread(id).handlerCosts[vector] = cost;
+}
+
+std::size_t
+Kernel::enginePreemptDepth(ThreadId id) const
+{
+    return thread(id).engFrames.size();
+}
+
+std::size_t
+Kernel::engineDeferredCount(ThreadId id) const
+{
+    return thread(id).engDeferred.size();
+}
+
+bool
+Kernel::engineIdle(ThreadId id) const
+{
+    const Thread &t = thread(id);
+    return t.engState == EngState::Idle && t.engFrames.empty() &&
+        t.engDeferred.empty();
+}
+
+unsigned
+Kernel::enginePriority(const Thread &t, unsigned vector) const
+{
+    const DeliveryPolicy *p = policyFor(t, vector);
+    return p != nullptr ? p->priority : 0;
+}
+
+void
+Kernel::engineEnqueue(Thread &t, const EngDeferred &d)
+{
+    auto it = std::upper_bound(
+        t.engDeferred.begin(), t.engDeferred.end(), d,
+        [](const EngDeferred &a, const EngDeferred &b) {
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq < b.seq;
+        });
+    t.engDeferred.insert(it, d);
+}
+
+bool
+Kernel::deliverViaEngine(ThreadId id, unsigned vector,
+                         std::uint64_t key)
+{
+    Thread &t = thread(id);
+    if (t.handlerCosts.empty())
+        return false;
+    auto it = t.handlerCosts.find(vector);
+    if (it == t.handlerCosts.end())
+        return false;
+
+    unsigned prio = enginePriority(t, vector);
+    if (engineRaiseHook_)
+        engineRaiseHook_(vector, prio, sim_.now());
+
+    EngDeferred d;
+    d.vector = vector;
+    d.prio = prio;
+    d.cost = it->second;
+    d.key = key;
+    d.seq = engSeq_++;
+    engineEnqueue(t, d);
+    engineArrival(id, vector);
+    return true;
+}
+
+void
+Kernel::engineArrival(ThreadId id, unsigned vector)
+{
+    Thread &t = thread(id);
+    if (t.engState == EngState::Idle) {
+        engineStartFrame(id);
+        return;
+    }
+    // Preempt only a *running* frame: save/restore windows are
+    // non-preemptible sections (they bound the blocking term in the
+    // analytical worst case).
+    if (t.engState == EngState::Running &&
+        !t.engDeferred.empty() && !t.engFrames.empty() &&
+        t.engDeferred.front().prio > t.engFrames.back().prio) {
+        enginePreempt(id);
+        return;
+    }
+    bump(mPreemptDeferredArrivals_);
+    ktrace("kernel.preempt.deferred", vector);
+}
+
+void
+Kernel::enginePreempt(ThreadId id)
+{
+    Thread &t = thread(id);
+    assert(t.engState == EngState::Running && !t.engFrames.empty());
+    Cycles now = sim_.now();
+
+    // Bank the running frame's unfinished cycles.
+    EngFrame &f = t.engFrames.back();
+    f.remaining = t.engStateEnd > now ? t.engStateEnd - now : 0;
+    bump(mPreemptions_);
+    ktrace("kernel.preempt.preemptions", f.vector);
+
+    Cycles save_len = costs_.preemptSave;
+    if (fault_ != nullptr) {
+        auto d = fault_->decide(fault::Site::PreemptSave);
+        if (d.action == fault::Action::Drop) {
+            // The frame spill is lost: the preempted continuation
+            // vanishes with it. With recovery on, the kernel replays
+            // the continuation after the backoff (as an
+            // alreadyStarted arrival — the handler already ran its
+            // prefix); with recovery off, the frame is stranded and
+            // the ledger's conservation check flags the loss.
+            EngFrame lost = t.engFrames.back();
+            t.engFrames.pop_back();
+            bump(mPreemptSaveDropped_);
+            ktrace("kernel.preempt.save_dropped", lost.vector);
+            if (recoveryEnabled_) {
+                std::uint64_t seq = engSeq_++;
+                sim_.queue().scheduleAfter(
+                    recoveryBackoff_, [this, id, lost, seq] {
+                        Thread &t2 = thread(id);
+                        EngDeferred r;
+                        r.vector = lost.vector;
+                        r.prio = lost.prio;
+                        r.cost = lost.remaining;
+                        r.key = lost.key;
+                        r.seq = seq;
+                        r.alreadyStarted = true;
+                        engineEnqueue(t2, r);
+                        bump(mPreemptResumeReplayed_);
+                        ktrace("kernel.preempt.resume_replayed",
+                               lost.vector);
+                        if (t2.engState == EngState::Idle)
+                            engineStartFrame(id);
+                    });
+            }
+        } else if (d.action == fault::Action::Duplicate) {
+            // The spill microcode runs twice (torn save retried):
+            // the nested delivery pays a doubled save window.
+            save_len = 2 * costs_.preemptSave;
+            bump(mPreemptDoubleSave_);
+            ktrace("kernel.preempt.double_save", f.vector);
+        }
+    }
+
+    t.engState = EngState::Saving;
+    t.engStateEnd = now + save_len;
+    scheduleEngineAdvance(id);
+}
+
+void
+Kernel::engineStartFrame(ThreadId id)
+{
+    Thread &t = thread(id);
+    assert(!t.engDeferred.empty());
+    EngDeferred d = t.engDeferred.front();
+    t.engDeferred.erase(t.engDeferred.begin());
+
+    EngFrame f;
+    f.vector = d.vector;
+    f.prio = d.prio;
+    f.key = d.key;
+    f.remaining = 0;
+    t.engFrames.push_back(f);
+    t.engState = EngState::Running;
+    t.engStateEnd = sim_.now() + d.cost;
+    scheduleEngineAdvance(id);
+
+    if (!d.alreadyStarted) {
+        if (engineDeliverHook_)
+            engineDeliverHook_(d.vector, sim_.now());
+        if (t.handler)
+            t.handler(d.vector);
+    }
+}
+
+void
+Kernel::scheduleEngineAdvance(ThreadId id)
+{
+    Thread &t = thread(id);
+    std::uint64_t gen = ++t.engGen;
+    Cycles now = sim_.now();
+    Cycles delay = t.engStateEnd > now ? t.engStateEnd - now : 0;
+    sim_.queue().scheduleAfter(delay == 0 ? 1 : delay,
+                               [this, id, gen] {
+                                   engineAdvance(id, gen);
+                               });
+}
+
+void
+Kernel::engineAdvance(ThreadId id, std::uint64_t gen)
+{
+    Thread &t = thread(id);
+    if (gen != t.engGen)
+        return;  // superseded by a preemption or replay
+
+    switch (t.engState) {
+      case EngState::Idle:
+        return;
+      case EngState::Saving:
+        // Spill done: the highest-priority arrival takes the core.
+        engineStartFrame(id);
+        return;
+      case EngState::Running: {
+        assert(!t.engFrames.empty());
+        EngFrame done = t.engFrames.back();
+        t.engFrames.pop_back();
+        if (ledger_ != nullptr && done.key != kNoLedgerKey)
+            ledger_->onDelivered(done.key);
+        bump(mPreemptCompletions_);
+        ktrace("kernel.preempt.completions", done.vector);
+
+        // A strictly-higher-priority arrival beats the resumable
+        // frame (no pointless restore + re-save); otherwise resume
+        // the preempted frame, or go idle.
+        bool start_next = !t.engDeferred.empty() &&
+            (t.engFrames.empty() ||
+             t.engDeferred.front().prio > t.engFrames.back().prio);
+        if (start_next) {
+            engineStartFrame(id);
+        } else if (!t.engFrames.empty()) {
+            t.engState = EngState::Restoring;
+            t.engStateEnd = sim_.now() + costs_.preemptRestore;
+            scheduleEngineAdvance(id);
+            bump(mPreemptResumes_);
+            ktrace("kernel.preempt.resumes",
+                   t.engFrames.back().vector);
+        } else {
+            t.engState = EngState::Idle;
+        }
+        return;
+      }
+      case EngState::Restoring: {
+        assert(!t.engFrames.empty());
+        t.engState = EngState::Running;
+        t.engStateEnd = sim_.now() + t.engFrames.back().remaining;
+        scheduleEngineAdvance(id);
+        // An arrival that outranks the resumed frame but landed in
+        // the restore window preempts the moment the frame is live.
+        if (!t.engDeferred.empty() &&
+            t.engDeferred.front().prio > t.engFrames.back().prio)
+            enginePreempt(id);
+        return;
+      }
+    }
+}
+
+void
 Kernel::enableKbTimer(ThreadId id, std::uint8_t vector)
 {
     Thread &t = thread(id);
@@ -722,11 +983,15 @@ Kernel::deliverKbTimerFired(CoreId core_id)
     ThreadId running = core.running;
     if (running != kNoThread) {
         Thread &t = thread(running);
-        if (t.handler)
-            t.handler(core.timer.vector());
-        if (ledger_ != nullptr && core.timerDue)
-            ledger_->onDelivered(
-                kbKey(running, core.timer.vector()));
+        unsigned v = core.timer.vector();
+        std::uint64_t key = core.timerDue ? kbKey(running, v)
+                                          : kNoLedgerKey;
+        if (!deliverViaEngine(running, v, key)) {
+            if (t.handler)
+                t.handler(v);
+            if (ledger_ != nullptr && core.timerDue)
+                ledger_->onDelivered(kbKey(running, v));
+        }
     }
     if (core.timerMisfired) {
         bump(mRecoveredTimerLate_);
@@ -806,10 +1071,12 @@ Kernel::deviceInterrupt(CoreId core_id, unsigned vector)
                 return DeliveryPath::Deferred;
             }
         }
-        if (t.handler)
-            t.handler(v);
-        if (ledger_ != nullptr)
-            ledger_->onDelivered(fwdKey(running, v));
+        if (!deliverViaEngine(running, v, fwdKey(running, v))) {
+            if (t.handler)
+                t.handler(v);
+            if (ledger_ != nullptr)
+                ledger_->onDelivered(fwdKey(running, v));
+        }
         bump(mFwdFast_);
         return DeliveryPath::Fast;
       }
@@ -851,10 +1118,13 @@ Kernel::delayedForwardDeliver(CoreId core_id, unsigned vector,
     Core &core = cores_[core_id];
     if (core.running == posted_to) {
         Thread &t = thread(posted_to);
-        if (t.handler)
-            t.handler(vector);
-        if (ledger_ != nullptr)
-            ledger_->onDelivered(fwdKey(posted_to, vector));
+        if (!deliverViaEngine(posted_to, vector,
+                              fwdKey(posted_to, vector))) {
+            if (t.handler)
+                t.handler(vector);
+            if (ledger_ != nullptr)
+                ledger_->onDelivered(fwdKey(posted_to, vector));
+        }
         bump(mRecoveredFwdDelayed_);
         ktrace("kernel.recovery.forward_delayed", vector);
         return;
@@ -894,10 +1164,13 @@ Kernel::setInterval(ThreadId id, Cycles interval, unsigned signo)
             if (ledger_ != nullptr)
                 ledger_->onPosted(sigKey(id, signo));
             if (t.running) {
-                if (t.handler)
-                    t.handler(signo);
-                if (ledger_ != nullptr)
-                    ledger_->onDelivered(sigKey(id, signo));
+                if (!deliverViaEngine(id, signo,
+                                      sigKey(id, signo))) {
+                    if (t.handler)
+                        t.handler(signo);
+                    if (ledger_ != nullptr)
+                        ledger_->onDelivered(sigKey(id, signo));
+                }
                 ++signalsDelivered_;
                 bump(mSignals_);
             } else {
@@ -987,6 +1260,19 @@ Kernel::attachMetrics(MetricsRegistry &registry)
         &registry.counter("kernel.moderation.missed_then_delivered");
     mModLevelRedeliver_ =
         &registry.counter("kernel.moderation.level_redeliver");
+
+    mPreemptions_ = &registry.counter("kernel.preempt.preemptions");
+    mPreemptDeferredArrivals_ =
+        &registry.counter("kernel.preempt.deferred");
+    mPreemptCompletions_ =
+        &registry.counter("kernel.preempt.completions");
+    mPreemptResumes_ = &registry.counter("kernel.preempt.resumes");
+    mPreemptSaveDropped_ =
+        &registry.counter("kernel.preempt.save_dropped");
+    mPreemptDoubleSave_ =
+        &registry.counter("kernel.preempt.double_save");
+    mPreemptResumeReplayed_ =
+        &registry.counter("kernel.preempt.resume_replayed");
 }
 
 unsigned

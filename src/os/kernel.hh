@@ -162,6 +162,54 @@ class Kernel
     void setModeration(ThreadId thread, unsigned vector,
                        ModerationParams params);
 
+    // ----- priority preemption (occupancy engine) --------------------
+
+    /**
+     * Declare that the thread's handler occupies the core for `cost`
+     * cycles when invoked for `vector`, enabling the occupancy
+     * engine for that vector. The engine models mixed-criticality
+     * delivery: while a handler frame runs, a higher-priority
+     * arrival (DeliveryPolicy::priority for the vector) preempts it
+     * — the kernel pays preemptSave, runs the nested handler to
+     * completion, then pays preemptRestore and resumes the
+     * preempted frame's remaining cycles. Equal/lower priorities
+     * queue in arrival order behind the running frame.
+     *
+     * Vectors without a declared cost keep the legacy immediate
+     * (zero-occupancy) delivery, and a kernel with no costs declared
+     * anywhere pays exactly one empty-map check — bit-identical to
+     * the engine-less kernel. The engine is not scheduling-aware:
+     * descheduling a thread mid-frame is unsupported (scenarios keep
+     * the receiver resident while frames are in flight).
+     */
+    void setHandlerCost(ThreadId thread, unsigned vector,
+                        Cycles cost);
+
+    /**
+     * Observer hooks for the occupancy engine, so the verify layer
+     * (BoundChecker) can watch raise->deliver latencies without an
+     * os -> verify link dependency. Raise fires at arrival (with the
+     * vector's priority); deliver fires when the handler is invoked.
+     */
+    void setEngineRaiseHook(
+        std::function<void(unsigned vector, unsigned prio,
+                           Cycles now)> hook)
+    {
+        engineRaiseHook_ = std::move(hook);
+    }
+    void setEngineDeliverHook(
+        std::function<void(unsigned vector, Cycles now)> hook)
+    {
+        engineDeliverHook_ = std::move(hook);
+    }
+
+    /** Nested depth of in-flight handler frames (tests). */
+    std::size_t enginePreemptDepth(ThreadId thread) const;
+    /** Arrivals queued behind the running frame (tests). */
+    std::size_t engineDeferredCount(ThreadId thread) const;
+    /** True when no frame is running or queued (tests). */
+    bool engineIdle(ThreadId thread) const;
+
     // ----- KB timer (§4.3) ---------------------------------------------
 
     /** enable_kb_timer(): grant the thread timer access. */
@@ -290,6 +338,45 @@ class Kernel
     }
 
   private:
+    /** Occupancy-engine automaton states (per thread). */
+    enum class EngState : std::uint8_t
+    {
+        Idle,
+        /** Spilling the preempted frame (preemptSave cycles). */
+        Saving,
+        /** Reloading a preempted frame (preemptRestore cycles). */
+        Restoring,
+        /** A handler frame occupies the core. */
+        Running,
+    };
+
+    /** Frame key sentinel: delivery not ledger-accounted. */
+    static constexpr std::uint64_t kNoLedgerKey = ~std::uint64_t(0);
+
+    /** One in-flight (running or preempted) handler frame. */
+    struct EngFrame
+    {
+        unsigned vector = 0;
+        unsigned prio = 0;
+        /** Ledger key completed on frame completion. */
+        std::uint64_t key = kNoLedgerKey;
+        /** Cycles still owed when preempted. */
+        Cycles remaining = 0;
+    };
+
+    /** One arrival waiting for the core. */
+    struct EngDeferred
+    {
+        unsigned vector = 0;
+        unsigned prio = 0;
+        Cycles cost = 0;
+        std::uint64_t key = kNoLedgerKey;
+        /** Arrival order; ties within a priority resolve FIFO. */
+        std::uint64_t seq = 0;
+        /** Replayed continuation: skip the handler invocation. */
+        bool alreadyStarted = false;
+    };
+
     struct Thread
     {
         bool exists = false;
@@ -316,6 +403,18 @@ class Kernel
         std::unordered_map<unsigned, DeliveryPolicy> policies;
         /** Per-vector moderators (empty = no moderation). */
         std::unordered_map<unsigned, VectorModerator> moderators;
+        /** Per-vector handler occupancy (empty = engine off). */
+        std::unordered_map<unsigned, Cycles> handlerCosts;
+        /** Occupancy-engine automaton state. */
+        EngState engState = EngState::Idle;
+        /** When the current Saving/Restoring/Running state ends. */
+        Cycles engStateEnd = 0;
+        /** Bumped to invalidate superseded advance events. */
+        std::uint64_t engGen = 0;
+        /** In-flight frames, innermost (running) last. */
+        std::vector<EngFrame> engFrames;
+        /** Queued arrivals, sorted (priority desc, seq asc). */
+        std::vector<EngDeferred> engDeferred;
     };
 
     struct Core
@@ -354,6 +453,32 @@ class Kernel
                                     unsigned vector) const;
     /** A scheduled moderation-window flush fires. */
     void moderationFlush(ThreadId id, unsigned vector);
+
+    // ----- occupancy engine (priority preemption) --------------------
+
+    /**
+     * Route one delivery through the occupancy engine. @return false
+     * (and touch nothing) when the engine is off for this vector —
+     * callers fall through to the legacy immediate delivery. `key`
+     * is the ledger key completed when the frame finishes
+     * (kNoLedgerKey = no accounting).
+     */
+    bool deliverViaEngine(ThreadId id, unsigned vector,
+                          std::uint64_t key);
+    /** The vector's priority (policy, or 0 when unset). */
+    unsigned enginePriority(const Thread &t, unsigned vector) const;
+    /** Insert into engDeferred keeping (prio desc, seq asc). */
+    void engineEnqueue(Thread &t, const EngDeferred &d);
+    /** React to a fresh arrival: start, preempt, or defer. */
+    void engineArrival(ThreadId id, unsigned vector);
+    /** Preempt the running frame for a higher-priority arrival. */
+    void enginePreempt(ThreadId id);
+    /** Pop the highest-priority deferred arrival and run it. */
+    void engineStartFrame(ThreadId id);
+    /** Schedule the state-end advance for the current state. */
+    void scheduleEngineAdvance(ThreadId id);
+    /** A state (save/run/restore) ran to its end. */
+    void engineAdvance(ThreadId id, std::uint64_t gen);
 
     Simulation &sim_;
     CostModel costs_;
@@ -437,6 +562,20 @@ class Kernel
     Counter *mModMissed_ = nullptr;
     Counter *mModMissedThenDelivered_ = nullptr;
     Counter *mModLevelRedeliver_ = nullptr;
+
+    // kernel.preempt.*: occupancy-engine outcomes.
+    Counter *mPreemptions_ = nullptr;
+    Counter *mPreemptDeferredArrivals_ = nullptr;
+    Counter *mPreemptCompletions_ = nullptr;
+    Counter *mPreemptResumes_ = nullptr;
+    Counter *mPreemptSaveDropped_ = nullptr;
+    Counter *mPreemptDoubleSave_ = nullptr;
+    Counter *mPreemptResumeReplayed_ = nullptr;
+
+    /** Global arrival sequence for deferred FIFO tie-breaks. */
+    std::uint64_t engSeq_ = 0;
+    std::function<void(unsigned, unsigned, Cycles)> engineRaiseHook_;
+    std::function<void(unsigned, Cycles)> engineDeliverHook_;
     /** True while drainParked delivers resume-drain backlog. */
     bool inResumeDrain_ = false;
 };

@@ -1,6 +1,7 @@
 #include "uarch/interrupt_unit.hh"
 
 #include <cassert>
+#include <iterator>
 
 namespace xui
 {
@@ -28,13 +29,69 @@ InterruptUnit::canAccept() const
 }
 
 PendingIntr
+InterruptUnit::takeNext()
+{
+    if (!prioEnabled_) {
+        PendingIntr p = pending_.front();
+        pending_.pop_front();
+        return p;
+    }
+    // Highest priority wins; the first (oldest) entry breaks ties,
+    // so an all-default table degenerates to the FIFO pop above.
+    auto best = pending_.begin();
+    for (auto it = std::next(best); it != pending_.end(); ++it)
+        if (prio_[it->vector] > prio_[best->vector])
+            best = it;
+    PendingIntr p = *best;
+    pending_.erase(best);
+    return p;
+}
+
+PendingIntr
 InterruptUnit::accept()
 {
     assert(canAccept());
-    current_ = pending_.front();
-    pending_.pop_front();
+    current_ = takeNext();
     state_ = TrackerState::Pending;
     return current_;
+}
+
+void
+InterruptUnit::setVectorPriority(std::uint8_t vector,
+                                 std::uint8_t prio)
+{
+    prio_[vector] = clampPriority(prio);
+    if (prio_[vector] > 0)
+        prioEnabled_ = true;
+}
+
+std::uint8_t
+InterruptUnit::highestPendingPriority() const
+{
+    std::uint8_t best = 0;
+    for (const PendingIntr &p : pending_)
+        if (prio_[p.vector] > best)
+            best = prio_[p.vector];
+    return best;
+}
+
+PendingIntr
+InterruptUnit::beginPreempt()
+{
+    assert(shouldPreempt());
+    preemptStack_.push_back(current_);
+    current_ = takeNext();
+    state_ = TrackerState::Pending;
+    return current_;
+}
+
+void
+InterruptUnit::onNestedReturn()
+{
+    assert(!preemptStack_.empty());
+    current_ = preemptStack_.back();
+    preemptStack_.pop_back();
+    state_ = TrackerState::Committed;
 }
 
 bool

@@ -16,8 +16,10 @@
 #include <deque>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "des/time.hh"
+#include "intr/policy.hh"
 
 namespace xui
 {
@@ -98,11 +100,72 @@ class InterruptUnit
     bool canAccept() const;
 
     /**
-     * Accept the oldest pending interrupt: the tracker moves to
+     * Accept the next pending interrupt: the tracker moves to
      * Pending and delivery begins per the configured strategy.
+     * With priorities off this is the oldest pending interrupt;
+     * with priorities on, the highest-priority one (oldest within
+     * a level — identical to FIFO when every level is 0).
      * @pre canAccept()
      */
     PendingIntr accept();
+
+    /**
+     * Configure a vector's delivery priority (mixed-criticality
+     * layer). Level 0 is the default; the priority machinery is
+     * engaged only once some vector is raised above 0, so an
+     * all-default table keeps the unit bit-identical to the
+     * pre-priority protocol.
+     */
+    void setVectorPriority(std::uint8_t vector, std::uint8_t prio);
+
+    std::uint8_t vectorPriority(std::uint8_t vector) const
+    {
+        return prio_[vector];
+    }
+
+    /** True once any vector was configured above level 0. */
+    bool priorityEnabled() const { return prioEnabled_; }
+
+    /**
+     * Should a pending vector preempt the running handler? True only
+     * with priorities engaged, a committed (architectural) delivery
+     * in progress, and a pending vector whose level strictly exceeds
+     * the current handler's. Priority preemption deliberately
+     * ignores UIF: a latency-critical level behaves NMI-like above
+     * the best-effort masking the handler prologue applies.
+     */
+    bool shouldPreempt() const
+    {
+        if (!prioEnabled_ || state_ != TrackerState::Committed ||
+            pending_.empty())
+            return false;
+        return highestPendingPriority() > prio_[current_.vector];
+    }
+
+    /**
+     * Begin a priority preemption: the running handler's interrupt
+     * is pushed onto the preemption stack and the highest-priority
+     * pending one becomes current (tracker back to Pending, exactly
+     * as a fresh accept).
+     * @pre shouldPreempt()
+     */
+    PendingIntr beginPreempt();
+
+    /**
+     * The nested handler finished and the restore redirect
+     * committed: the preempted interrupt becomes current again
+     * (tracker back to Committed — its delivery was architectural
+     * before the preemption).
+     */
+    void onNestedReturn();
+
+    /** True while at least one preempted handler awaits resume. */
+    bool inNestedDelivery() const { return !preemptStack_.empty(); }
+
+    std::size_t preemptDepth() const { return preemptStack_.size(); }
+
+    /** Highest priority among pending interrupts (0 when empty). */
+    std::uint8_t highestPendingPriority() const;
 
     /** The interrupt currently being delivered. */
     const PendingIntr &current() const { return current_; }
@@ -145,12 +208,20 @@ class InterruptUnit
     void onHandlerReturn();
 
   private:
+    /** Pop the pending entry accept()/beginPreempt() should take. */
+    PendingIntr takeNext();
+
     std::deque<PendingIntr> pending_;
     PendingIntr current_{};
     TrackerState state_ = TrackerState::Idle;
     bool uif_ = true;
     std::uint64_t nextSpanId_ = 1;
     RaiseFaultHook raiseHook_;
+    /** Per-vector delivery priority (0 = best-effort default). */
+    std::uint8_t prio_[256] = {};
+    bool prioEnabled_ = false;
+    /** Preempted handlers, outermost first. */
+    std::vector<PendingIntr> preemptStack_;
 };
 
 } // namespace xui

@@ -19,6 +19,10 @@ intrStageName(IntrStage st)
         return "deliver";
       case IntrStage::Return:
         return "return";
+      case IntrStage::PreemptSave:
+        return "preempt_save";
+      case IntrStage::PreemptResume:
+        return "preempt_resume";
     }
     return "?";
 }

@@ -41,11 +41,24 @@ enum class IntrStage : std::uint8_t
     Deliver,
     /** uiret committed: the span is complete. */
     Return,
+    /**
+     * A higher-priority vector preempted the running handler: the
+     * preempt-save microcode began spilling the handler frame. The
+     * preempting span's save window runs from here to its Inject.
+     */
+    PreemptSave,
+    /**
+     * The preempt-restore microcode's redirect committed: the
+     * preempted outer handler is running again. For a preempting
+     * span this — not Return — completes the span (Return only
+     * marks its uiret; the restore cost still belongs to it).
+     */
+    PreemptResume,
 };
 
 /** Number of IntrStage enumerators (for stage-indexed tables). */
 constexpr unsigned kNumIntrStages =
-    static_cast<unsigned>(IntrStage::Return) + 1;
+    static_cast<unsigned>(IntrStage::PreemptResume) + 1;
 
 /** Name of a lifecycle stage (stable strings for output/tests). */
 const char *intrStageName(IntrStage st);

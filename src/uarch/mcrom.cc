@@ -222,6 +222,100 @@ Mcrom::Mcrom(const McodeParams &params)
         uiret_.push_back(ret);
     }
 
+    // ----- preempt save (priority preemption) ---------------------------
+    // A higher-priority vector interrupts the running handler: spill
+    // the handler's frame (second stack slot group) before the nested
+    // delivery routine runs. The chain-tail PreemptSaveDone marks the
+    // spill architectural; delivery serializes behind it through the
+    // shared chain registers.
+    {
+        assert(params_.preemptSaveUops >= 6);
+        MicroOp first = overheadUop();
+        first.fromIntrPath = true;
+        first.dest = chain_a;
+        first.fixedLatency = static_cast<std::uint16_t>(
+            params_.preemptSaveOverheadLatency);
+        preemptSave_.push_back(first);
+
+        std::uint8_t prev = chain_a;
+        for (unsigned i = 0; i < 3; ++i) {
+            MicroOp push;
+            push.cls = OpClass::MemWrite;
+            push.src1 = reg::kSp;
+            push.src2 = prev;
+            push.mem = MemMode::Local;
+            push.addr = kStackBase + 0x40 + 8 * i;
+            push.fromIntrPath = true;
+            preemptSave_.push_back(push);
+        }
+
+        unsigned pad = params_.preemptSaveUops - 5;
+        for (unsigned i = 0; i < pad; ++i) {
+            MicroOp u = overheadUop();
+            u.fromIntrPath = true;
+            u.src1 = prev;
+            u.dest = (prev == chain_a) ? chain_b : chain_a;
+            prev = u.dest;
+            preemptSave_.push_back(u);
+        }
+
+        MicroOp done;
+        done.cls = OpClass::IntAlu;
+        done.src1 = prev;
+        done.src2 = reg::kSp;
+        done.dest = (prev == chain_a) ? chain_b : chain_a;
+        done.effect = McodeEffect::PreemptSaveDone;
+        done.fromIntrPath = true;
+        preemptSave_.push_back(done);
+    }
+
+    // ----- preempt restore ----------------------------------------------
+    // After the nested handler's uiret: pop the preempted frame,
+    // re-clear UIF (the outer handler ran with delivery disabled) and
+    // redirect fetch back into it. The redirect is the chain tail,
+    // like uiret's: the resume target is data-dependent on the pops.
+    {
+        assert(params_.preemptRestoreUops >= 5);
+        std::uint8_t prev = reg::kNone;
+        for (unsigned i = 0; i < 2; ++i) {
+            MicroOp pop;
+            pop.cls = OpClass::MemRead;
+            pop.dest = i == 0 ? chain_a : chain_b;
+            pop.src1 = prev;
+            pop.mem = MemMode::Local;
+            pop.addr = kStackBase + 0x40 + 8 * i;
+            pop.fromIntrPath = true;
+            preemptRestore_.push_back(pop);
+            prev = pop.dest;
+        }
+        MicroOp clr_uif;
+        clr_uif.cls = OpClass::IntAlu;
+        clr_uif.src1 = prev;
+        clr_uif.dest = chain_a;
+        clr_uif.effect = McodeEffect::ClearUif;
+        clr_uif.fromIntrPath = true;
+        preemptRestore_.push_back(clr_uif);
+        prev = chain_a;
+
+        unsigned pad = params_.preemptRestoreUops - 4;
+        for (unsigned i = 0; i < pad; ++i) {
+            MicroOp u = overheadUop();
+            u.fromIntrPath = true;
+            u.src1 = prev;
+            u.dest = (prev == chain_a) ? chain_b : chain_a;
+            prev = u.dest;
+            preemptRestore_.push_back(u);
+        }
+
+        MicroOp res;
+        res.cls = OpClass::Branch;
+        res.src1 = prev;
+        res.effect = McodeEffect::ResumeFromPreempt;
+        res.fromIntrPath = true;
+        res.eom = true;
+        preemptRestore_.push_back(res);
+    }
+
     // ----- clui / stui --------------------------------------------------
     {
         MicroOp u;

@@ -58,6 +58,17 @@ enum class McodeEffect : std::uint8_t
     SetTimerArm,
     /** xUI: disarm the KB timer (clear_timer). */
     ClearTimerArm,
+    /**
+     * Priority preemption: the preempted handler's frame spill is
+     * architectural. Commit of this micro-op marks the end of the
+     * nested span's preempt-save window (its Inject point).
+     */
+    PreemptSaveDone,
+    /**
+     * Priority preemption: the restore routine's redirect — fetch
+     * returns to the preempted handler and the nested span closes.
+     */
+    ResumeFromPreempt,
 };
 
 /** Memory semantics of a micro-op. */
@@ -118,6 +129,16 @@ struct McodeParams
     unsigned deliveryOverheadLatency = 45;
     /** uiret micro-op count. */
     unsigned uiretUops = 6;
+    /**
+     * Preempt-save micro-op count (priority preemption: spill the
+     * running handler's frame before the nested delivery).
+     */
+    unsigned preemptSaveUops = 10;
+    /** Preempt-restore micro-op count (pops + UIF + redirect). */
+    unsigned preemptRestoreUops = 8;
+    /** Fixed extra latency of the preempt-save routine's first uop
+     *  (pipeline drain of the interrupted handler's tail). */
+    unsigned preemptSaveOverheadLatency = 30;
     /** clui measured cost (Table 2: 2 cycles). */
     unsigned cluiLatency = 2;
     /** stui measured cost (Table 2: 32 cycles). */
@@ -148,6 +169,18 @@ class Mcrom
     /** uiret routine. */
     const std::vector<MicroOp> &uiret() const { return uiret_; }
 
+    /** Priority preemption: spill the running handler's frame. */
+    const std::vector<MicroOp> &preemptSave() const
+    {
+        return preemptSave_;
+    }
+
+    /** Priority preemption: restore the preempted handler. */
+    const std::vector<MicroOp> &preemptRestore() const
+    {
+        return preemptRestore_;
+    }
+
     /** clui / stui / testui / set_timer / clear_timer. */
     const std::vector<MicroOp> &clui() const { return clui_; }
     const std::vector<MicroOp> &stui() const { return stui_; }
@@ -168,6 +201,8 @@ class Mcrom
     std::vector<MicroOp> notify_;
     std::vector<MicroOp> delivery_;
     std::vector<MicroOp> uiret_;
+    std::vector<MicroOp> preemptSave_;
+    std::vector<MicroOp> preemptRestore_;
     std::vector<MicroOp> clui_;
     std::vector<MicroOp> stui_;
     std::vector<MicroOp> setTimer_;

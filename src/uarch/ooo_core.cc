@@ -328,6 +328,19 @@ OooCore::applyCommitEffect(const RobEntry &entry)
         break;
       case McodeEffect::ReturnFromHandler:
         trace(TraceEvent::IntrReturn);
+        if (intr_.inNestedDelivery()) {
+            // Nested (preempting) delivery: the preempt-restore
+            // routine still runs before the outer handler resumes,
+            // so the span stays open until ResumeFromPreempt and
+            // the tracker keeps its nested current.
+            if (recordOpen_) {
+                currentRecord_.uiretCommitAt = cycle_;
+                observe(IntrStage::Return, currentRecord_.spanId,
+                        currentRecord_.source,
+                        currentRecord_.vector);
+            }
+            break;
+        }
         intr_.onHandlerReturn();
         if (recordOpen_) {
             currentRecord_.uiretCommitAt = cycle_;
@@ -337,6 +350,34 @@ OooCore::applyCommitEffect(const RobEntry &entry)
             recordOpen_ = false;
         }
         break;
+      case McodeEffect::PreemptSaveDone:
+        // The preempted frame spill is architectural: this is the
+        // nested span's injection point (its "microcode entry").
+        if (recordOpen_ && currentRecord_.injectedAt == 0) {
+            currentRecord_.injectedAt = cycle_;
+            observe(IntrStage::Inject, currentRecord_.spanId,
+                    currentRecord_.source, currentRecord_.vector);
+        }
+        break;
+      case McodeEffect::ResumeFromPreempt: {
+        assert(!preemptFrames_.empty());
+        assert(restoresInFlight_ > 0);
+        if (recordOpen_) {
+            currentRecord_.restoredAt = cycle_;
+            observe(IntrStage::PreemptResume, currentRecord_.spanId,
+                    currentRecord_.source, currentRecord_.vector);
+            stats_.intrRecords.push_back(currentRecord_);
+        }
+        ++stats_.preemptRestores;
+        PreemptFrame f = preemptFrames_.back();
+        preemptFrames_.pop_back();
+        resumePc_ = f.resumePc;
+        currentRecord_ = f.record;
+        recordOpen_ = f.recordOpen;
+        --restoresInFlight_;
+        intr_.onNestedReturn();
+        break;
+      }
       case McodeEffect::SetTimerArm: {
         bool periodic = (entry.imm >> 63) & 1;
         Cycles cycles = entry.imm & ~(1ull << 63);
@@ -447,14 +488,48 @@ OooCore::writebackStage()
             continue;
         }
         if (entry.uop.effect == McodeEffect::ReturnFromHandler) {
-            fetchPc_ = resumePc_;
+            // Writeback happens out of order: an outer handler's
+            // uiret can complete before the inner restore routine's
+            // ResumeFromPreempt commits and pops the frame stack, so
+            // the tracker's nesting state alone is stale here. A
+            // uiret is a nested return exactly when fewer restore
+            // routines are outstanding than there are preempt
+            // frames; otherwise every open frame already has its
+            // restore in flight and this is the outermost return.
+            if (restoresInFlight_ < intr_.preemptDepth()) {
+                // Nested uiret: fetch must not resume the program —
+                // stream the preempt-restore routine instead; its
+                // chain-tail Branch (ResumeFromPreempt) carries the
+                // redirect back into the preempted handler.
+                std::uint32_t target = resumeTargetForReturn();
+                entry.nextPc = target;
+                loadUcodeRestore(target);
+                ++restoresInFlight_;
+                continue;
+            }
+            fetchPc_ = resumeTargetForReturn();
             // Record the real return target: uiret is a program
             // instruction, so its commit updates
             // lastCommittedNextPc_, and the fall-through pc+1 would
             // be wrong (out of bounds for a handler at the end of
             // the program) if a Flush-mode accept lands before the
             // next program op commits.
-            entry.nextPc = resumePc_;
+            entry.nextPc = fetchPc_;
+            awaitRedirect_ = false;
+            frontendStallUntil_ = std::max<Cycles>(
+                frontendStallUntil_,
+                cycle_ + params_.takenBranchBubble);
+            continue;
+        }
+        if (entry.uop.effect == McodeEffect::ResumeFromPreempt) {
+            // Restore redirect: back into the preempted handler at
+            // the pc the preemption interrupted. The target was
+            // latched into the routine's imm when the restore was
+            // issued — reading resumePc_ here would race with an
+            // earlier restore's commit-time frame pop when returns
+            // stack more than one deep.
+            fetchPc_ = static_cast<std::uint32_t>(entry.imm);
+            entry.nextPc = fetchPc_;
             awaitRedirect_ = false;
             frontendStallUntil_ = std::max<Cycles>(
                 frontendStallUntil_,
@@ -483,6 +558,18 @@ OooCore::writebackStage()
 }
 
 void
+OooCore::uncountRestore(const MicroOp &uop)
+{
+    // A squashed restore routine (its chain-tail ResumeFromPreempt
+    // never commits) releases its outstanding-restore slot so the
+    // re-fetched uiret issues the routine again.
+    if (uop.effect == McodeEffect::ResumeFromPreempt) {
+        assert(restoresInFlight_ > 0);
+        --restoresInFlight_;
+    }
+}
+
+void
 OooCore::uncountExec(const RobEntry &entry)
 {
     if (entry.countedExec && entry.pc < program_->size() &&
@@ -502,6 +589,7 @@ OooCore::squashYoungerThan(std::uint64_t seq,
     while (!rob_.empty() && rob_.back().seq > seq) {
         if (rob_.back().uop.fromIntrPath)
             killed_intr = true;
+        uncountRestore(rob_.back().uop);
         uncountExec(rob_.back());
         releaseRingSlot(rob_.back());
         rob_.pop_back();
@@ -510,11 +598,13 @@ OooCore::squashYoungerThan(std::uint64_t seq,
     for (const auto &f : fetchBuffer_) {
         if (f.uop.fromIntrPath)
             killed_intr = true;
+        uncountRestore(f.uop);
         uncountExec(f);
     }
     for (const auto &u : ucodeQueue_) {
         if (u.fromIntrPath)
             killed_intr = true;
+        uncountRestore(u);
     }
     stats_.squashedUops += killed_rob + fetchBuffer_.size();
     ++stats_.squashes;
@@ -551,11 +641,16 @@ OooCore::squashAll()
     if (killed_rob + fetchBuffer_.size() > 0)
         ++stats_.squashes;
     for (const auto &entry : rob_) {
+        uncountRestore(entry.uop);
         uncountExec(entry);
         releaseRingSlot(entry);
     }
-    for (const auto &entry : fetchBuffer_)
+    for (const auto &entry : fetchBuffer_) {
+        uncountRestore(entry.uop);
         uncountExec(entry);
+    }
+    for (const auto &u : ucodeQueue_)
+        uncountRestore(u);
     rob_.clear();
     fetchBuffer_.clear();
     ucodeQueue_.clear();
@@ -836,18 +931,102 @@ OooCore::loadUcodeForCurrent()
 }
 
 void
+OooCore::loadUcodeNested()
+{
+    // Nested (preempting) delivery: spill the preempted handler's
+    // frame first, then the usual notification/delivery microcode.
+    ucodeQueue_.clear();
+    for (const auto &u : mcrom_.preemptSave())
+        ucodeQueue_.push_back(u);
+    const PendingIntr &cur = intr_.current();
+    if (cur.source == IntrSource::UserIpi) {
+        for (const auto &u : mcrom_.notify())
+            ucodeQueue_.push_back(u);
+    }
+    for (const auto &u : mcrom_.delivery())
+        ucodeQueue_.push_back(u);
+    ucodeMacroPc_ = kUcodePc;
+    ucodeNextPc_ = 0;
+    ucodeImm_ = 0;
+}
+
+void
+OooCore::loadUcodeRestore(std::uint32_t resume_pc)
+{
+    ucodeQueue_.clear();
+    for (const auto &u : mcrom_.preemptRestore())
+        ucodeQueue_.push_back(u);
+    ucodeMacroPc_ = kUcodePc;
+    ucodeNextPc_ = 0;
+    // The routine carries its own redirect target: by the time its
+    // ResumeFromPreempt executes, earlier restores may have popped
+    // frames and moved resumePc_ under it.
+    ucodeImm_ = resume_pc;
+}
+
+std::uint32_t
+OooCore::resumeTargetForReturn() const
+{
+    // Resume targets form a stack: the open frames hold the outer
+    // targets (outermost first) and resumePc_ holds the innermost.
+    // Each outstanding restore consumes one target from the top, so
+    // the next return resumes at position depth - restoresInFlight_.
+    std::size_t depth = intr_.preemptDepth();
+    assert(restoresInFlight_ <= depth);
+    if (restoresInFlight_ == 0)
+        return resumePc_;
+    return preemptFrames_[depth - restoresInFlight_].resumePc;
+}
+
+void
 OooCore::beginInjection()
 {
     trace(TraceEvent::IntrInject);
     resumePc_ = fetchPc_;
-    loadUcodeForCurrent();
+    if (intr_.inNestedDelivery())
+        loadUcodeNested();  // re-injection after a nested squash
+    else
+        loadUcodeForCurrent();
     intr_.onInjected();
-    if (currentRecord_.injectedAt == 0) {
+    if (currentRecord_.injectedAt == 0 && !currentRecord_.preempting) {
         currentRecord_.injectedAt = cycle_;
         const PendingIntr &cur = intr_.current();
         observe(IntrStage::Inject, cur.spanId, cur.source,
                 cur.vector);
     }
+    frontendStallUntil_ = std::max<Cycles>(
+        frontendStallUntil_,
+        cycle_ + params_.mcode.trackedUcodeEntryLatency);
+}
+
+void
+OooCore::beginPreemptInjection()
+{
+    trace(TraceEvent::IntrAccept);
+    PendingIntr p = intr_.beginPreempt();
+    ++stats_.preemptions;
+    observe(IntrStage::Accept, p.spanId, p.source, p.vector);
+
+    preemptFrames_.push_back(
+        PreemptFrame{resumePc_, currentRecord_, recordOpen_});
+    currentRecord_ = IntrRecord{};
+    currentRecord_.source = p.source;
+    currentRecord_.vector = p.vector;
+    currentRecord_.spanId = p.spanId;
+    currentRecord_.raisedAt = p.raisedAt;
+    currentRecord_.acceptedAt = cycle_;
+    currentRecord_.preempting = true;
+    currentRecord_.saveStartAt = cycle_;
+    recordOpen_ = true;
+    observe(IntrStage::PreemptSave, p.spanId, p.source, p.vector);
+
+    trace(TraceEvent::IntrInject);
+    resumePc_ = fetchPc_;
+    loadUcodeNested();
+    intr_.onInjected();
+    // injectedAt (and the Inject observation) for a preempting span
+    // comes from the PreemptSaveDone commit: its ucode entry ends
+    // when the frame spill is architectural.
     frontendStallUntil_ = std::max<Cycles>(
         frontendStallUntil_,
         cycle_ + params_.mcode.trackedUcodeEntryLatency);
@@ -942,6 +1121,19 @@ OooCore::fetchStage()
             program_->at(fetchPc_).isSafepoint;
         if (intr_.shouldInject(at_safepoint, params_.safepointMode)) {
             beginInjection();
+            break;
+        }
+
+        // Priority preemption boundary: a strictly-higher-priority
+        // pending vector interrupts the running handler — but only
+        // once the running delivery is fully architectural (its
+        // jump committed; in-order commit then guarantees no older
+        // branch can still squash the nested work) and no restore
+        // is in flight.
+        if (intr_.shouldPreempt() && restoresInFlight_ == 0 &&
+            recordOpen_ && currentRecord_.deliveryCommitAt != 0 &&
+            currentRecord_.uiretCommitAt == 0) {
+            beginPreemptInjection();
             break;
         }
 
@@ -1140,7 +1332,8 @@ OooCore::fetchUcodeUop()
     entry.uop = u;
 
     if (u.effect == McodeEffect::JumpHandler ||
-        u.effect == McodeEffect::ReturnFromHandler) {
+        u.effect == McodeEffect::ReturnFromHandler ||
+        u.effect == McodeEffect::ResumeFromPreempt) {
         assert(u.effect != McodeEffect::JumpHandler ||
                program_->handlerEntry() != Program::kNoHandler);
         // The target is produced by the routine itself (the uiret

@@ -61,6 +61,16 @@ struct IntrRecord
     Cycles deliveryExecAt = 0;
     Cycles deliveryCommitAt = 0;
     Cycles uiretCommitAt = 0;
+    /**
+     * Priority preemption fields (zero unless `preempting`): the
+     * nested span's save window runs saveStartAt -> injectedAt and
+     * its restore window uiretCommitAt -> restoredAt; restoredAt —
+     * when the preempted handler resumed — closes the record.
+     */
+    Cycles saveStartAt = 0;
+    Cycles restoredAt = 0;
+    /** This delivery preempted a lower-priority handler. */
+    bool preempting = false;
 };
 
 /** Sender-side timeline of one senduipi (drives Table 2 / Fig. 2). */
@@ -86,6 +96,10 @@ struct CoreStats
     std::uint64_t reinjections = 0;
     std::uint64_t slowPathForwards = 0;
     std::uint64_t drainWaitCycles = 0;
+    /** Priority preemptions begun (higher vector over a handler). */
+    std::uint64_t preemptions = 0;
+    /** Preempted handlers resumed (restore redirects committed). */
+    std::uint64_t preemptRestores = 0;
     std::vector<IntrRecord> intrRecords;
     std::vector<SendRecord> sendRecords;
 };
@@ -263,8 +277,19 @@ class OooCore
     /** Interrupt accept / injection helpers. */
     void checkInterruptAccept();
     void beginInjection();
+    void beginPreemptInjection();
     void loadUcodeForCurrent();
+    /** Load preempt-save + delivery microcode (nested delivery). */
+    void loadUcodeNested();
+    /** Load the preempt-restore routine (after a nested uiret);
+     *  the routine's imm latches its redirect target. */
+    void loadUcodeRestore(std::uint32_t resume_pc);
+    /** Resume pc the next writing-back uiret should use, accounting
+     *  for restores already issued but not yet committed. */
+    std::uint32_t resumeTargetForReturn() const;
     void squashAll();
+    /** Undo a squashed restore routine's restoresInFlight_ slot. */
+    void uncountRestore(const MicroOp &uop);
     /** Undo a squashed entry's speculative execCount_ increment. */
     void uncountExec(const RobEntry &entry);
     void squashYoungerThan(std::uint64_t seq,
@@ -406,6 +431,23 @@ class OooCore
     // Current interrupt record being assembled.
     IntrRecord currentRecord_;
     bool recordOpen_ = false;
+
+    // Priority preemption: per-level saved core context, innermost
+    // last (parallels InterruptUnit::preemptStack_).
+    struct PreemptFrame
+    {
+        std::uint32_t resumePc;
+        IntrRecord record;
+        bool recordOpen;
+    };
+    std::vector<PreemptFrame> preemptFrames_;
+    /** Preempt-restore routines in flight (uiret writeback ->
+     *  ResumeFromPreempt commit or squash). Blocks further
+     *  preemptions, and — because writeback is out of order —
+     *  disambiguates nested from outermost uirets: an outer uiret
+     *  can complete before the inner restore commits and pops
+     *  preemptFrames_, so the frame stack alone is stale there. */
+    unsigned restoresInFlight_ = 0;
 
     CoreStats stats_;
 };

@@ -421,6 +421,41 @@ TEST(GoldenCorpus, ProfilingIsDigestNeutral)
     EXPECT_GT(spans->value(), 0u);
 }
 
+TEST(GoldenCorpus, PriorityOffIsDigestNeutral)
+{
+    // The mixed-criticality priority layer engages only once some
+    // vector is configured above level 0. Re-running the whole
+    // 96-row corpus with the layer compiled in and every one of the
+    // 256 vectors explicitly pinned at the default level must
+    // reproduce every golden digest bit for bit: an all-default
+    // priority table is the legacy protocol, not a near miss.
+    const std::size_t n = std::size(kCorpusGoldens);
+    std::vector<ScenarioResult> results = exec::sweep(
+        n, 4, [](std::size_t i) {
+            const CorpusGolden &g = kCorpusGoldens[i];
+            return runScenario(
+                corpusConfig(g.seed, g.strategy), nullptr, nullptr,
+                nullptr, [](UarchSystem &sys) {
+                    InterruptUnit &u = sys.core(0).intrUnit();
+                    for (unsigned v = 0; v < 256; ++v)
+                        u.setVectorPriority(
+                            static_cast<std::uint8_t>(v), 0);
+                    ASSERT_FALSE(u.priorityEnabled());
+                });
+        });
+    for (std::size_t i = 0; i < n; ++i) {
+        const CorpusGolden &g = kCorpusGoldens[i];
+        const ScenarioResult &r = results[i];
+        std::string at = "seed " + std::to_string(g.seed) + " " +
+            strategyName(g.strategy) + " (priority table zeroed)";
+        EXPECT_EQ(r.fullDigest, g.fullDigest) << at;
+        EXPECT_EQ(r.archDigest, g.archDigest) << at;
+        EXPECT_EQ(r.eventCount, g.eventCount) << at;
+        EXPECT_EQ(r.delivered, g.delivered) << at;
+        EXPECT_EQ(r.cycles, g.cycles) << at;
+    }
+}
+
 TEST(GoldenCorpus, ParallelSweepBitIdenticalToSerial)
 {
     // A corpus slice swept serially (the legacy inline path) and at

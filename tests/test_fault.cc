@@ -76,6 +76,30 @@ TEST(FaultSchedule, GenerationIsDeterministic)
     EXPECT_NE(a.encode(), c.encode());
 }
 
+TEST(FaultSchedule, PreemptSaveSitesLeaveOldSchedulesByteIdentical)
+{
+    // The preempt-save fault classes default off, so every schedule
+    // generated before the priority engine existed must stay
+    // byte-identical. Pinned from the pre-preemption option set.
+    fault::Schedule def =
+        fault::generateSchedule(42, fault::ScheduleOptions{});
+    EXPECT_EQ(def.encode(),
+              "notify_ipi:18:drop:0;kbtimer_poll:44:spurious:0;"
+              "deschedule:36:delay:5893;"
+              "forward_dispatch:36:delay:2390;"
+              "kbtimer_poll:13:spurious:0;forward_dispatch:15:drop:0;"
+              "kbtimer_poll:42:spurious:0;kbtimer_fire:40:delay:2899");
+    EXPECT_EQ(def.encode().find("preempt_save"), std::string::npos);
+
+    // Opting in actually reaches the new sites.
+    fault::ScheduleOptions opts;
+    opts.dropPreemptSave = true;
+    opts.duplicatePreemptSave = true;
+    opts.directives = 64;
+    fault::Schedule s = fault::generateSchedule(42, opts);
+    EXPECT_NE(s.encode().find("preempt_save"), std::string::npos);
+}
+
 TEST(FaultInjector, MatchesNthOccurrenceOnly)
 {
     fault::Schedule s;
@@ -779,6 +803,90 @@ TEST(Chaos, ShrunkModerationReproReplaysBitIdentically)
     EXPECT_EQ(a.delivered, b.delivered);
     EXPECT_EQ(a.coalescedSatisfied, b.coalescedSatisfied);
     EXPECT_EQ(a.modFlushDropped, b.modFlushDropped);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.violations, b.violations);
+
+    // Recovery + drain rescue the very same shrunk schedule.
+    chaos::CellConfig rescued = replay;
+    rescued.recovery = true;
+    rescued.finalDrain = true;
+    EXPECT_TRUE(chaos::runCell(rescued).passed);
+}
+
+TEST(Chaos, PreemptStormSurvivesSaveFaultsWithRecovery)
+{
+    // The storm aims drops and torn double-saves at the
+    // preempt-save window; with recovery on no post may be lost,
+    // and across the seed range the fabric must actually preempt
+    // and hit the new site.
+    std::uint64_t preemptions = 0;
+    std::uint64_t saveFaults = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        chaos::CellConfig cc;
+        cc.kind = chaos::ScenarioKind::PreemptStorm;
+        cc.seed = seed;
+        fault::ScheduleOptions opts;
+        opts.dropPreemptSave = true;
+        opts.duplicatePreemptSave = true;
+        cc.schedule = fault::generateSchedule(
+            chaos::cellScheduleSeed(cc.kind, seed), opts);
+        chaos::CellResult r = chaos::runCell(cc);
+        EXPECT_TRUE(r.passed)
+            << "seed " << seed << ": "
+            << (r.violations.empty() ? "?" : r.violations[0]);
+        preemptions += r.preemptions;
+        saveFaults += r.preemptSaveDropped + r.preemptResumeReplayed;
+    }
+    EXPECT_GT(preemptions, 0u);
+    EXPECT_GT(saveFaults, 0u);
+}
+
+TEST(Chaos, ShrunkPreemptStormReproReplaysBitIdentically)
+{
+    // Same .repro contract as the moderation scenarios, for the
+    // preempt-save fault sites: shrink a failing storm cell,
+    // round-trip the shrunk schedule through its text encoding, and
+    // the replay must reproduce the identical result — including
+    // the preempt counters — run after run.
+    chaos::CellConfig failing;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+        chaos::CellConfig cc;
+        cc.kind = chaos::ScenarioKind::PreemptStorm;
+        cc.seed = seed;
+        cc.recovery = false;
+        cc.finalDrain = false;
+        fault::ScheduleOptions opts;
+        opts.dropPreemptSave = true;
+        opts.duplicatePreemptSave = true;
+        cc.schedule = fault::generateSchedule(
+            chaos::cellScheduleSeed(cc.kind, seed), opts);
+        if (!chaos::runCell(cc).passed) {
+            failing = cc;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found)
+        << "no failing preempt_storm cell in 40 seeds";
+
+    fault::Schedule minimal = chaos::shrink(failing);
+    EXPECT_GE(minimal.size(), 1u);
+
+    fault::Schedule decoded;
+    ASSERT_TRUE(fault::Schedule::decode(minimal.encode(), decoded));
+    EXPECT_EQ(minimal.encode(), decoded.encode());
+
+    chaos::CellConfig replay = failing;
+    replay.schedule = decoded;
+    chaos::CellResult a = chaos::runCell(replay);
+    chaos::CellResult b = chaos::runCell(replay);
+    EXPECT_FALSE(a.passed);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.posted, b.posted);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.preemptSaveDropped, b.preemptSaveDropped);
+    EXPECT_EQ(a.preemptResumeReplayed, b.preemptResumeReplayed);
     EXPECT_EQ(a.injected, b.injected);
     EXPECT_EQ(a.violations, b.violations);
 
