@@ -163,6 +163,18 @@ struct Options
     std::uint64_t rtVector = 256;
     /** `--priority P`: the RT vector's priority level (< 4). */
     std::uint64_t rtPriority = kNumPriorityLevels - 1;
+    /**
+     * `--ff`: also run the sampled (fast-forward) pass for every
+     * FF-capable scenario that does not run it by default (e.g.
+     * simspeed's fig2), gating its accuracy like the always-on
+     * pairs. Exact-mode measurements are unaffected.
+     */
+    bool ff = false;
+    /**
+     * `--detail-window N`: cycles of full detail kept around every
+     * interrupt lifecycle event in sampled passes (>= 1).
+     */
+    std::uint64_t detailWindow = 512;
 };
 
 inline void
@@ -174,7 +186,8 @@ printUsage(std::FILE *out, const char *prog)
                  "       [--counter-stride N] [--tax]\n"
                  "       [--policy %s]\n"
                  "       [--itr-ns N] [--offered-load X]\n"
-                 "       [--rt-vector V] [--priority P]\n",
+                 "       [--rt-vector V] [--priority P]\n"
+                 "       [--ff] [--detail-window N]\n",
                  prog, policyUsageNames());
 }
 
@@ -318,6 +331,26 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr,
                              "%s: --counter-stride needs a "
                              "non-negative integer, got '%s'\n",
+                             argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--ff") == 0) {
+            opts.ff = true;
+        } else if (std::strcmp(arg, "--detail-window") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --detail-window needs a value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parseU64Strict(v, opts.detailWindow) ||
+                opts.detailWindow == 0) {
+                std::fprintf(stderr,
+                             "%s: --detail-window needs an integer "
+                             ">= 1, got '%s'\n",
                              argv[0], v);
                 printUsage(stderr, argv[0]);
                 std::exit(2);

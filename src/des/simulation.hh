@@ -35,6 +35,15 @@ class Simulation
     /** Run until the given absolute time. */
     void runUntil(Cycles limit) { queue_.runUntil(limit); }
 
+    /**
+     * Absolute time of the earliest pending event, or
+     * EventQueue::kNoPending when the queue is idle. The coarse
+     * wakeup primitive for hybrid co-simulation: a fast-forwarding
+     * cycle tier can bulk-advance to just short of this time instead
+     * of interleaving with an idle DES tier every cycle.
+     */
+    Cycles nextEventAt() { return queue_.peekNextTime(); }
+
   private:
     EventQueue queue_;
     Rng master_;

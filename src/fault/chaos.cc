@@ -4,6 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include <algorithm>
+#include <sstream>
+
 #include "des/simulation.hh"
 #include "exec/sweep.hh"
 #include "fault/invariants.hh"
@@ -12,6 +15,8 @@
 #include "os/kernel.hh"
 #include "runtime/sender.hh"
 #include "stats/rng.hh"
+#include "uarch/uarch_system.hh"
+#include "workloads/kernels.hh"
 
 namespace xui::chaos
 {
@@ -28,6 +33,7 @@ const char *const kScenarioNames[kNumScenarios] = {
     "coalesce_drop",
     "itr_misfire",
     "preempt_storm",
+    "ff_boundary",
 };
 
 std::uint64_t
@@ -361,6 +367,125 @@ buildPreemptStorm(Cell &c)
     }
 }
 
+/**
+ * FfBoundary runs on the uarch tier, not through the kernel Cell: a
+ * fast-forwarding core with a periodic KB timer plus a burst of
+ * external UIPIs, every one of them a wake source the sampled-detail
+ * controller must hand off around. Site::FfTransition is consulted
+ * exactly at the mode-transition cycles; a Delay directive pins full
+ * detail at the boundary, and Drop/Duplicate arm the next raise (the
+ * one landing on the handoff) to be lost or doubled. The cell then
+ * checks the same interrupt conservation and record-timeline
+ * invariants the verify tier enforces.
+ */
+CellResult
+runFfBoundaryCell(const CellConfig &cfg)
+{
+    CellResult res;
+    Rng rng(splitmix(cfg.seed ^
+                     (static_cast<std::uint64_t>(cfg.kind) + 1)));
+    fault::Injector inj(cfg.schedule);
+
+    Program prog = makeSpinLoop();
+    CoreParams params;
+    params.fastForward = true;
+    params.detailWindow = 1 + rng.nextBounded(128);
+    params.ffWarmup = 8 + rng.nextBounded(57);
+    UarchSystem sys(cfg.seed * 1000003 + 17);
+    OooCore &core = sys.addCore(params, &prog);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, 600 + rng.nextBounded(1800),
+                            KbTimerMode::Periodic);
+
+    auto armed = InterruptUnit::RaiseOutcome::Deliver;
+    core.intrUnit().setRaiseFaultHook(
+        [&](IntrSource, std::uint8_t) {
+            auto out = armed;
+            armed = InterruptUnit::RaiseOutcome::Deliver;
+            if (out == InterruptUnit::RaiseOutcome::Drop)
+                ++res.ffRaisesDropped;
+            return out;
+        });
+    core.setFfTransitionHook([&](bool, Cycles) -> Cycles {
+        auto d = inj.decide(fault::Site::FfTransition);
+        switch (d.action) {
+          case fault::Action::Delay:
+            return d.magnitude;
+          case fault::Action::Drop:
+            armed = InterruptUnit::RaiseOutcome::Drop;
+            return 0;
+          case fault::Action::Duplicate:
+            armed = InterruptUnit::RaiseOutcome::Duplicate;
+            return 0;
+          default:
+            return 0;
+        }
+    });
+
+    // The inbox pops in arrival order, so queue the burst sorted.
+    std::vector<Cycles> uipis =
+        drawTimes(rng, 12, cfg.horizon * 3 / 4);
+    std::sort(uipis.begin(), uipis.end());
+    for (Cycles t : uipis)
+        core.receiveIpi(core.uinv(), t);
+
+    core.runCycles(cfg.horizon);
+
+    const CoreStats &s = core.stats();
+    res.posted = s.interruptsRaised;
+    res.delivered = s.interruptsDelivered;
+    res.injected = inj.injected();
+    res.handlerRuns = s.interruptsDelivered;
+    res.ffEntries = s.ffEntries;
+    res.ffExits = s.ffExits;
+
+    if (s.interruptsRaised < s.interruptsDelivered) {
+        std::ostringstream os;
+        os << "duplicated deliveries: raised "
+           << s.interruptsRaised << " < delivered "
+           << s.interruptsDelivered;
+        res.violations.push_back(os.str());
+    }
+    if (s.interruptsRaised - s.interruptsDelivered > 1) {
+        std::ostringstream os;
+        os << "lost interrupts: raised " << s.interruptsRaised
+           << ", delivered " << s.interruptsDelivered;
+        res.violations.push_back(os.str());
+    }
+    if (s.ffExits > s.ffEntries || s.ffEntries - s.ffExits > 1)
+        res.violations.push_back(
+            "fast-forward entries/exits do not telescope");
+    if (s.ffEntries == 0)
+        res.violations.push_back(
+            "fast-forward never engaged: no boundaries exercised");
+    if (s.intrRecords.size() > s.interruptsDelivered ||
+        s.intrRecords.size() + 1 < s.interruptsDelivered) {
+        std::ostringstream os;
+        os << "record count " << s.intrRecords.size()
+           << " inconsistent with delivered "
+           << s.interruptsDelivered;
+        res.violations.push_back(os.str());
+    }
+    Cycles prev_uiret = 0;
+    for (std::size_t i = 0; i < s.intrRecords.size(); ++i) {
+        const IntrRecord &r = s.intrRecords[i];
+        const bool mono = r.acceptedAt >= r.raisedAt &&
+            r.injectedAt >= r.acceptedAt &&
+            r.deliveryCommitAt >= r.firstUopCommitAt &&
+            r.uiretCommitAt > r.deliveryCommitAt &&
+            r.injectedAt >= prev_uiret;
+        if (!mono) {
+            std::ostringstream os;
+            os << "record " << i << " timeline not monotonic";
+            res.violations.push_back(os.str());
+        }
+        prev_uiret = r.uiretCommitAt;
+    }
+
+    res.passed = res.violations.empty();
+    return res;
+}
+
 void
 buildScenario(Cell &c)
 {
@@ -389,6 +514,9 @@ buildScenario(Cell &c)
       case ScenarioKind::PreemptStorm:
         buildPreemptStorm(c);
         return;
+      case ScenarioKind::FfBoundary:
+        // Runs on the uarch tier; runCell dispatches it before the
+        // kernel Cell is built.
       case ScenarioKind::kCount:
         break;
     }
@@ -433,6 +561,9 @@ cellScheduleSeed(ScenarioKind kind, std::uint64_t seed)
 CellResult
 runCell(const CellConfig &cfg)
 {
+    if (cfg.kind == ScenarioKind::FfBoundary)
+        return runFfBoundaryCell(cfg);
+
     CellResult res;
     Cell cell(cfg);
     buildScenario(cell);
@@ -552,6 +683,32 @@ runGrid(const GridConfig &cfg)
             if (rep.kind == ScenarioKind::PreemptStorm) {
                 so.dropPreemptSave = true;
                 so.duplicatePreemptSave = true;
+            }
+            if (rep.kind == ScenarioKind::FfBoundary) {
+                // Boundary cells consult only the transition site,
+                // so the schedule draws exclusively from the ff
+                // classes (the kernel sites never fire there).
+                // Duplicates are excluded: the uarch tier has no
+                // dedup, so a doubled raise is an unconditional
+                // conservation failure reserved for crafted cells.
+                fault::ScheduleOptions ffso;
+                ffso.directives = so.directives;
+                ffso.horizon = so.horizon;
+                ffso.maxDelay = so.maxDelay;
+                ffso.dropNotification = false;
+                ffso.delayNotification = false;
+                ffso.duplicateNotification = false;
+                ffso.reorderUpid = false;
+                ffso.stormNotification = false;
+                ffso.timerMisfire = false;
+                ffso.timerDelay = false;
+                ffso.timerSpurious = false;
+                ffso.dropForward = false;
+                ffso.delayForward = false;
+                ffso.descheduleWindow = false;
+                ffso.delayFfDetail = true;
+                ffso.dropFfRaise = true;
+                so = ffso;
             }
             cc.schedule = fault::generateSchedule(
                 cellScheduleSeed(rep.kind, rep.seed), so);

@@ -56,6 +56,13 @@ enum class ScenarioKind : std::uint8_t
      *  other, with faults aimed at the preempt-save window
      *  (Site::PreemptSave drops and torn double-saves). */
     PreemptStorm,
+    /** Uarch-tier sampled-detail run with faults aimed exactly at
+     *  the fast-forward mode-transition cycles (Site::FfTransition):
+     *  detail pinned at the boundary, and raises landing on the
+     *  handoff dropped or doubled. The cell checks the interrupt
+     *  conservation and record-timeline invariants across every
+     *  adversarial mode switch. */
+    FfBoundary,
     kCount,
 };
 
@@ -129,6 +136,12 @@ struct CellResult
     std::uint64_t preemptions = 0;
     std::uint64_t preemptSaveDropped = 0;
     std::uint64_t preemptResumeReplayed = 0;
+
+    // FfBoundary only: fast-forward region count and the raises the
+    // boundary-armed fabric swallowed.
+    std::uint64_t ffEntries = 0;
+    std::uint64_t ffExits = 0;
+    std::uint64_t ffRaisesDropped = 0;
 };
 
 /** Deterministic schedule seed for a (kind, scenario-seed) cell. */

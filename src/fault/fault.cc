@@ -13,7 +13,7 @@ namespace
 constexpr const char *kSiteNames[] = {
     "notify_ipi", "kbtimer_fire", "kbtimer_poll",
     "forward_dispatch", "deschedule", "raise_uarch",
-    "moderation_flush", "preempt_save",
+    "moderation_flush", "preempt_save", "ff_transition",
 };
 static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
               kNumSites);
@@ -183,6 +183,12 @@ generateSchedule(std::uint64_t seed, const ScheduleOptions &opts)
         classes.push_back({Site::PreemptSave, Action::Drop});
     if (opts.duplicatePreemptSave)
         classes.push_back({Site::PreemptSave, Action::Duplicate});
+    if (opts.delayFfDetail)
+        classes.push_back({Site::FfTransition, Action::Delay});
+    if (opts.dropFfRaise)
+        classes.push_back({Site::FfTransition, Action::Drop});
+    if (opts.duplicateFfRaise)
+        classes.push_back({Site::FfTransition, Action::Duplicate});
 
     Schedule sched;
     if (classes.empty())

@@ -54,6 +54,11 @@ enum class Site : std::uint8_t
     ModerationFlush,
     /** Kernel occupancy engine is saving a preempted handler frame. */
     PreemptSave,
+    /** Fast-forward mode transition on the uarch tier (entry about
+     *  to happen or exit just completed): the window where sampled
+     *  simulation hands off between the functional loop and the
+     *  detailed pipeline. */
+    FfTransition,
     kCount,
 };
 
@@ -155,6 +160,14 @@ struct ScheduleOptions
     // they default off for the same byte-identical reason.
     bool dropPreemptSave = false;
     bool duplicatePreemptSave = false;
+    // Fast-forward boundary faults only make sense against a core
+    // running sampled-detail simulation, so they default off for
+    // the same byte-identical reason. Delay pins full detail at the
+    // transition; Drop/Duplicate arm the next raise at the boundary
+    // to be lost or doubled.
+    bool delayFfDetail = false;
+    bool dropFfRaise = false;
+    bool duplicateFfRaise = false;
 };
 
 /**

@@ -42,8 +42,9 @@ PipelinePressureProfiler::attachCore(OooCore &core)
     // engine needs the registry. With neither the probe is inert
     // (and ObsSession does not attach one).
     bool sampling = cfg_.counterStride > 0 && trace_ != nullptr;
-    probe->countdown =
-        sampling ? cfg_.counterStride : CycleHook::kNeverSample;
+    probe->nextSampleAt = sampling
+                              ? core.now() + cfg_.counterStride
+                              : CycleHook::kNeverSample;
     if (byCore_.size() <= core.id())
         byCore_.resize(core.id() + 1, nullptr);
     byCore_[core.id()] = probe.get();
@@ -89,10 +90,14 @@ PipelinePressureProfiler::intrStage(IntrStage stage,
             ++p->liveSpans;
         }
         if (sampling) {
-            // Burst: sample the very next cycle and every cycle
-            // until `burstWindow` past the last Deliver.
+            // Burst: sample at the end of this very cycle and every
+            // cycle until `burstWindow` past the last Deliver. The
+            // detail demand keeps a fast-forwarding core in full
+            // detail at least as long as the burst could run.
             ++p->pendingRaises;
-            p->countdown = 1;
+            p->nextSampleAt = cycle;
+            p->wantDetailUntil = std::max(
+                p->wantDetailUntil, cycle + cfg_.burstWindow);
         }
         break;
       case IntrStage::Accept:
@@ -121,6 +126,10 @@ PipelinePressureProfiler::intrStage(IntrStage stage,
                 --p->pendingRaises;
             p->burstUntil = std::max(p->burstUntil,
                                      cycle + cfg_.burstWindow);
+            // Sampled-detail runs must not fast-forward through the
+            // burst tail: full fidelity through the window.
+            p->wantDetailUntil =
+                std::max(p->wantDetailUntil, p->burstUntil);
         }
         break;
       case IntrStage::PreemptSave:
@@ -185,11 +194,12 @@ PipelinePressureProfiler::CoreProbe::onCycle(const OooCore &core,
     if (sampled) {
         if (prof.cfg_.counterStride > 0 && prof.trace_ != nullptr) {
             prof.sample(*this, core);
-            countdown = prof.inBurst(*this, core.now())
-                            ? 1
-                            : prof.cfg_.counterStride;
+            nextSampleAt = core.now() +
+                           (prof.inBurst(*this, core.now())
+                                ? 1
+                                : prof.cfg_.counterStride);
         } else {
-            countdown = kNeverSample;
+            nextSampleAt = kNeverSample;
         }
     }
 }

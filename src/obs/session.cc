@@ -113,6 +113,32 @@ ObsSession::publishCore(OooCore &core)
             static_cast<double>(s.committedInsts) /
             static_cast<double>(s.cycles));
     }
+    // Fast-forward (sampled-detail) accounting. Only emitted when
+    // the mode ever engaged, so exact-mode metrics files are
+    // unchanged byte-for-byte.
+    if (s.ffEntries > 0) {
+        metrics_->counter(base + "ff.entries").inc(s.ffEntries);
+        metrics_->counter(base + "ff.exits").inc(s.ffExits);
+        metrics_->counter(base + "ff.cycles").inc(s.ffCycles);
+        metrics_->counter(base + "ff.insts").inc(s.ffInsts);
+        metrics_->gauge(base + "ff.cycle_fraction")
+            .set(static_cast<double>(s.ffCycles) /
+                 static_cast<double>(s.cycles));
+        if (trace_ != nullptr) {
+            // Mode-transition spans: one "X" slice per fast-forward
+            // region on the core's track, so the detail windows are
+            // the visible gaps between them in Perfetto.
+            for (const FfSpan &span : s.ffSpans) {
+                Cycles end = span.exitedAt != 0 ? span.exitedAt
+                                                : core.now();
+                trace_->complete(
+                    "ff", "mode", span.enteredAt, end,
+                    kTracePidUarch, core.id(),
+                    "{\"insts\": " + std::to_string(span.insts) +
+                        "}");
+            }
+        }
+    }
 }
 
 int

@@ -8,6 +8,7 @@
 #ifndef XUI_UARCH_CORE_PARAMS_HH
 #define XUI_UARCH_CORE_PARAMS_HH
 
+#include "des/time.hh"
 #include "uarch/cache.hh"
 #include "uarch/mcrom.hh"
 
@@ -81,6 +82,38 @@ struct CoreParams
      * pins digests with the flag both on and off).
      */
     bool tickSkip = true;
+
+    /**
+     * Fast-forward (sampled-detail) execution, SMARTS-style. With
+     * this on, the core leaves the detailed out-of-order pipeline
+     * between interrupt activity and runs a functional in-order
+     * loop timed by an IPC model calibrated online from the
+     * surrounding detailed phases — no ROB/IQ/LSQ or
+     * branch-predictor bookkeeping, no per-cycle event churn. Full
+     * detail resumes inside a window around every interrupt
+     * lifecycle event (raise, inject, deliver, return, preempt
+     * save/restore), and the pipeline is re-warmed `ffWarmup`
+     * cycles ahead of every predicted arrival. Off by default:
+     * ff-off runs take none of the new paths and stay bit-identical
+     * (golden corpus). See DESIGN.md §13.
+     */
+    bool fastForward = false;
+
+    /**
+     * Detail window: cycles of full out-of-order detail kept after
+     * every interrupt lifecycle event before fast-forward may
+     * resume.
+     */
+    Cycles detailWindow = 512;
+
+    /**
+     * Cycles of detailed execution run ahead of every *predicted*
+     * interrupt arrival (KB-timer deadline, in-flight IPI) so the
+     * pipeline, caches, and predictor are warm when the event
+     * fires; without it, every raise would land in an empty
+     * pipeline and bias delivery latencies low.
+     */
+    Cycles ffWarmup = 256;
 
     unsigned predictorTableBits = 14;
     unsigned predictorHistoryBits = 12;

@@ -1,0 +1,26 @@
+#include "uarch/cosim.hh"
+
+namespace xui
+{
+
+void
+runCoSim(Simulation &sim, UarchSystem &sys, Cycles until)
+{
+    // Fire anything already due (DES clock may trail the cores').
+    sim.runUntil(sys.now());
+    while (sys.now() < until) {
+        Cycles next = sim.queue().peekNextTime();
+        Cycles stop = until;
+        if (next != EventQueue::kNoPending && next < stop)
+            stop = next;
+        if (stop > sys.now())
+            sys.run(stop - sys.now());
+        // The cycle tier reached `stop`; release every DES event due
+        // up to the new core time. Injections they perform land in
+        // core inboxes timestamped >= now, so the next bulk advance
+        // sees them as wake sources.
+        sim.runUntil(sys.now());
+    }
+}
+
+} // namespace xui

@@ -13,16 +13,28 @@
  *  - `liveSpans`: the number of interrupt spans currently open on
  *    this core (raised, not yet returned). While it is zero the
  *    interrupt-tax engine has nothing to attribute;
- *  - `countdown`: cycles until the next counter-track sample. The
- *    sampler rewinds it to its stride (or to 1 inside a burst
- *    window) from inside onCycle().
+ *  - `nextSampleAt`: the absolute cycle of the next counter-track
+ *    sample. The sampler advances it by its stride (or by 1 inside
+ *    a burst window) from inside onCycle(). Keeping it absolute
+ *    means a skipped or fast-forwarded region needs zero per-cycle
+ *    hook bookkeeping: the first detailed tick at or past the mark
+ *    samples, with no per-tick counter to decrement.
  *
  * The virtual call happens only on cycles that are sampled or carry
- * a live span, so a detached-equivalent run (no live spans, huge
- * stride) pays one pointer test, one decrement, and one compare per
+ * a live span, so a detached-equivalent run (no live spans,
+ * never-sample mark) pays one pointer test and two compares per
  * tick. Hooks must never mutate the core: observation is read-only
  * by contract, and the golden-digest corpus pins that a run with a
  * hook attached is bit-identical to one without.
+ *
+ * One deliberate exception to read-only: `wantDetailUntil` lets the
+ * owner demand full-detail execution through an absolute cycle.
+ * The core consults it only when fast-forward (sampled-detail) mode
+ * is enabled — the profiler uses it to pin detail across its burst
+ * window around every raise→deliver span. With fast-forward off the
+ * field is never read, so the digest guarantee above is untouched;
+ * with it on, the field only widens where the core runs detailed,
+ * which sampled runs are by construction allowed to do.
  */
 
 #ifndef XUI_UARCH_CYCLE_HOOK_HH
@@ -46,20 +58,27 @@ class CycleHook
     /**
      * One observed cycle.
      * @param core the core that just finished ticking
-     * @param sampled the sample countdown reached zero this cycle
+     * @param sampled the cycle reached the next-sample mark
      * @param live at least one interrupt span is open on this core
      */
     virtual void onCycle(const OooCore &core, bool sampled,
                          bool live) = 0;
 
-    /** Sentinel stride: effectively never sample. */
+    /** Sentinel sample mark: effectively never sample. */
     static constexpr std::uint64_t kNeverSample = ~std::uint64_t(0);
 
-    /** Cycles until the next sampled tick (maintained by owner). */
-    std::uint64_t countdown = kNeverSample;
+    /** Absolute cycle of the next sample (maintained by owner). */
+    std::uint64_t nextSampleAt = kNeverSample;
 
     /** Open interrupt spans on the hooked core. */
     std::uint32_t liveSpans = 0;
+
+    /**
+     * Owner's demand for full-detail execution through this
+     * absolute cycle; read by the core only in fast-forward mode
+     * (see file comment).
+     */
+    Cycles wantDetailUntil = 0;
 };
 
 } // namespace xui

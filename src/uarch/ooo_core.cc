@@ -123,6 +123,23 @@ OooCore::classLatency(const MicroOp &uop) const
 void
 OooCore::tick()
 {
+    if (ffMode_) {
+        // Sampled-detail mode: hand back to the detailed pipeline
+        // ffWarmup cycles ahead of the next predicted interrupt
+        // arrival (so the window around the lifecycle runs with a
+        // warm pipeline), or immediately when something was raised
+        // externally while fast-forwarding.
+        Cycles wake = nextWakeCycle();
+        bool event_near = wake != kNoWake &&
+                          wake <= cycle_ + 1 + params_.ffWarmup;
+        if (event_near || intr_.pendingAvailable() || intr_.busy())
+            exitFastForward();
+        else {
+            ffTick();
+            return;
+        }
+    }
+
     ++cycle_;
     ++stats_.cycles;
 
@@ -179,13 +196,17 @@ OooCore::tick()
     // End-of-tick observation: every lifecycle callback of this
     // cycle has already fired, so a hook sees a consistent
     // (cycle, open-span, occupancy) snapshot. Read-only by
-    // contract; the fast path is two integer tests.
+    // contract; the fast path is two integer compares against
+    // owner-maintained absolute marks (no per-tick mutation).
     if (cycleHook_ != nullptr) {
         bool live = cycleHook_->liveSpans != 0;
-        bool sampled = --cycleHook_->countdown == 0;
+        bool sampled = cycle_ >= cycleHook_->nextSampleAt;
         if (live || sampled)
             cycleHook_->onCycle(*this, sampled, live);
     }
+
+    if (params_.fastForward)
+        maybeEnterFastForward();
 }
 
 bool
@@ -220,7 +241,14 @@ OooCore::runCycles(Cycles n)
 {
     Cycles end = cycle_ + n;
     while (cycle_ < end) {
-        if (params_.tickSkip && quiesced()) {
+        if (ffMode_) {
+            // Bulk functional run: covers the whole gap to the next
+            // predicted event (or the horizon) without the per-tick
+            // dispatch overhead.
+            ffAdvance(end);
+            if (cycle_ >= end)
+                break;
+        } else if (params_.tickSkip && quiesced()) {
             // Idle until the next wake source (or the horizon):
             // every skipped tick would only have bumped counters.
             Cycles w = nextWakeCycle();
@@ -241,9 +269,210 @@ OooCore::runUntilCommitted(std::uint64_t insts, Cycles max_cycles)
     Cycles start = cycle_;
     std::uint64_t target = stats_.committedInsts + insts;
     while (stats_.committedInsts < target &&
-           cycle_ - start < max_cycles && !halted())
+           cycle_ - start < max_cycles && !halted()) {
+        if (ffMode_) {
+            // Bound the bulk run by the cycles the IPC model
+            // expects the remaining instructions to take, so the
+            // functional loop overshoots the commit target by at
+            // most one chunk.
+            Cycles left = max_cycles - (cycle_ - start);
+            std::uint64_t rem = target - stats_.committedInsts;
+            Cycles est = ((rem << 16) / ffIpcQ16_) + 1;
+            ffAdvance(cycle_ + std::min(left, est));
+            if (stats_.committedInsts >= target)
+                break;
+        }
         tick();
+    }
     return cycle_ - start;
+}
+
+// ---------------------------------------------------------------------
+// Fast-forward (sampled-detail) controller
+// ---------------------------------------------------------------------
+
+void
+OooCore::maybeEnterFastForward()
+{
+    // The detail window must have expired, with no interrupt work
+    // in any stage of its lifecycle. A halted core is left to the
+    // cheaper quiesced-skip machinery.
+    if (cycle_ < ffDetailUntil_ || fetchHalted_ || intr_.busy() ||
+        intr_.pendingAvailable() || drainWaiting_ ||
+        restoresInFlight_ != 0) {
+        ffDrainPending_ = false;
+        return;
+    }
+    // The profiler's burst window pins detail: sampled-detail runs
+    // keep full fidelity wherever the sampler is bursting.
+    if (cycleHook_ != nullptr &&
+        cycleHook_->wantDetailUntil > cycle_) {
+        ffDrainPending_ = false;
+        return;
+    }
+    // Gaps too short to amortize the drain + re-warm round trip
+    // stay detailed.
+    Cycles wake = nextWakeCycle();
+    if (wake != kNoWake &&
+        wake <= cycle_ + params_.ffWarmup + kFfMinRegion) {
+        ffDrainPending_ = false;
+        return;
+    }
+    // Gate program fetch and wait for the pipeline to empty: the
+    // architectural state (fetchPc_, execCount_, timer, caches) is
+    // then the whole handoff.
+    ffDrainPending_ = true;
+    if (rob_.empty() && fetchBuffer_.empty() &&
+        ucodeQueue_.empty() && !awaitRedirect_ &&
+        frontendStallUntil_ <= cycle_) {
+        if (ffTransitionHook_) {
+            Cycles pin = ffTransitionHook_(true, cycle_);
+            if (pin > 0) {
+                // The fault fabric pinned detail at the boundary:
+                // abort this entry and stay detailed.
+                ffDetailUntil_ =
+                    std::max(ffDetailUntil_, cycle_ + pin);
+                ffDrainPending_ = false;
+                return;
+            }
+        }
+        enterFastForward();
+    }
+}
+
+void
+OooCore::enterFastForward()
+{
+    assert(rob_.empty() && fetchBuffer_.empty() &&
+           ucodeQueue_.empty() && !onWrongPath_);
+    ffDrainPending_ = false;
+    ffMode_ = true;
+    // Calibrate the IPC model from the detailed phase just ended.
+    Cycles dc = cycle_ - ffCalibStartCycle_;
+    std::uint64_t di = stats_.committedInsts - ffCalibStartInsts_;
+    if (di >= kFfCalibMinInsts && dc > 0) {
+        std::uint64_t q = (di << 16) / dc;
+        ffIpcQ16_ = std::clamp(q, kFfMinIpcQ16, kFfMaxIpcQ16);
+    }
+    ffFracQ16_ = 0;
+    ++stats_.ffEntries;
+    ffSpanStartInsts_ = stats_.ffInsts;
+    stats_.ffSpans.push_back(FfSpan{cycle_, 0, 0});
+}
+
+void
+OooCore::exitFastForward()
+{
+    if (!ffMode_)
+        return;
+    ffMode_ = false;
+    ++stats_.ffExits;
+    FfSpan &span = stats_.ffSpans.back();
+    span.exitedAt = cycle_;
+    span.insts = stats_.ffInsts - ffSpanStartInsts_;
+    // The detailed phase starting now is the next IPC sample.
+    ffCalibStartCycle_ = cycle_;
+    ffCalibStartInsts_ = stats_.committedInsts;
+    if (ffTransitionHook_) {
+        Cycles pin = ffTransitionHook_(false, cycle_);
+        if (pin > 0)
+            ffDetailUntil_ = std::max(ffDetailUntil_, cycle_ + pin);
+    }
+}
+
+bool
+OooCore::ffExecuteOne()
+{
+    const MacroOp &op = program_->at(fetchPc_);
+    std::uint32_t pc = fetchPc_;
+    switch (op.opcode) {
+      case MacroOpcode::Halt:
+        // Halt never commits a micro-op in detail mode either; the
+        // rest of the region is idle time.
+        fetchHalted_ = true;
+        return false;
+      case MacroOpcode::SendUipi:
+      case MacroOpcode::Uiret:
+      case MacroOpcode::Clui:
+      case MacroOpcode::Stui:
+      case MacroOpcode::TestUi:
+      case MacroOpcode::SetTimer:
+      case MacroOpcode::ClearTimer:
+        // Microcoded: timer arms, UIF changes, and notifications
+        // must run through the detailed pipeline. fetchPc_ is left
+        // pointing at the op, so detail picks it up verbatim.
+        exitFastForward();
+        return false;
+      case MacroOpcode::Load:
+      case MacroOpcode::Store:
+        // Architectural address-stream side effects (execCount_,
+        // RNG draws) happen exactly as a correct-path detailed
+        // fetch would, and the access keeps the cache tags warm
+        // for the next detailed phase.
+        mem_.access(genAddress(op, pc));
+        fetchPc_ = pc + 1;
+        break;
+      case MacroOpcode::Branch:
+        fetchPc_ = evalBranch(op, pc) ? op.target : pc + 1;
+        break;
+      default:
+        fetchPc_ = pc + 1;
+        break;
+    }
+    ++stats_.committedInsts;
+    ++stats_.committedUops;
+    ++stats_.fetchedUops;
+    ++stats_.ffInsts;
+    lastCommittedNextPc_ = fetchPc_;
+    // Plain program macro-ops expand to exactly one micro-op, so one
+    // Commit event here keeps the architectural commit-PC stream
+    // (DigestTracer::archDigest, collectCommitPcs) comparable with a
+    // full-detail run of the same program. Timing-sensitive fields
+    // (cycle, seq, class) are not reproduced — only the arch stream
+    // is contractual across modes.
+    trace(TraceEvent::Commit, nextSeq_++, pc, OpClass::Nop);
+    return true;
+}
+
+void
+OooCore::ffTick()
+{
+    ++cycle_;
+    ++stats_.cycles;
+    ++stats_.ffCycles;
+    if (fetchHalted_)
+        return;
+    ffFracQ16_ += ffIpcQ16_;
+    std::uint64_t credit = ffFracQ16_ >> 16;
+    ffFracQ16_ &= 0xffff;
+    while (credit-- > 0) {
+        if (!ffExecuteOne())
+            break;
+    }
+}
+
+void
+OooCore::ffAdvance(Cycles end)
+{
+    // Stop ffWarmup + 1 cycles short of the next predicted arrival
+    // so the detailed pipeline is warm when the raise fires; the
+    // remaining approach is ticked in detail by the caller.
+    Cycles wake = nextWakeCycle();
+    Cycles stop = end;
+    if (wake != kNoWake) {
+        Cycles lead = params_.ffWarmup + 1;
+        stop = std::min(stop, wake > lead ? wake - lead : cycle_);
+    }
+    while (cycle_ < stop && ffMode_) {
+        if (fetchHalted_) {
+            // Nothing left to execute: jump like the quiesced skip.
+            stats_.ffCycles += stop - cycle_;
+            stats_.cycles += stop - cycle_;
+            cycle_ = stop;
+            break;
+        }
+        ffTick();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1047,7 +1276,14 @@ OooCore::genAddress(const MacroOp &op, std::uint32_t pc)
         std::uint64_t n = execCount_[pc];
         if (!onWrongPath_)
             ++execCount_[pc];
-        return a.base + (n * a.stride) % (a.range ? a.range : 1);
+        std::uint64_t range = a.range ? a.range : 1;
+        std::uint64_t span = n * a.stride;
+        // Power-of-two ranges (the common case in the workload
+        // kernels) mask instead of dividing: same value, and this
+        // runs once per memory op on the fast-forward path.
+        if ((range & (range - 1)) == 0)
+            return a.base + (span & (range - 1));
+        return a.base + span % range;
       }
       case AddrKind::Random:
       case AddrKind::Chase: {
@@ -1070,7 +1306,10 @@ OooCore::evalBranch(const MacroOp &op, std::uint32_t pc)
         return false;
       case BranchKind::Loop: {
         std::uint64_t iter = execCount_[pc]++;
-        return (iter % op.branch.count) != (op.branch.count - 1);
+        std::uint64_t count = op.branch.count;
+        if ((count & (count - 1)) == 0)
+            return (iter & (count - 1)) != count - 1;
+        return (iter % count) != count - 1;
       }
       case BranchKind::Random:
         return rng_.nextBool(op.branch.probability);
@@ -1138,6 +1377,11 @@ OooCore::fetchStage()
         }
 
         if (fetchHalted_)
+            break;
+
+        // Fast-forward handoff: the detail window expired, so stop
+        // feeding program ops and let the pipeline drain empty.
+        if (ffDrainPending_)
             break;
 
         std::uint32_t before_stall_pc = fetchPc_;

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "des/time.hh"
@@ -80,6 +81,15 @@ struct SendRecord
     Cycles icrCommitAt = 0;
 };
 
+/** One closed fast-forward region (sampled-detail mode). */
+struct FfSpan
+{
+    Cycles enteredAt = 0;
+    Cycles exitedAt = 0;
+    /** Macro instructions executed functionally in the region. */
+    std::uint64_t insts = 0;
+};
+
 /** Aggregate core counters. */
 struct CoreStats
 {
@@ -100,8 +110,17 @@ struct CoreStats
     std::uint64_t preemptions = 0;
     /** Preempted handlers resumed (restore redirects committed). */
     std::uint64_t preemptRestores = 0;
+    /** Fast-forward (sampled-detail) mode: regions entered/left,
+     *  cycles covered functionally, instructions executed there. */
+    std::uint64_t ffEntries = 0;
+    std::uint64_t ffExits = 0;
+    std::uint64_t ffInsts = 0;
+    Cycles ffCycles = 0;
     std::vector<IntrRecord> intrRecords;
     std::vector<SendRecord> sendRecords;
+    /** Closed fast-forward regions, in time order (mode-transition
+     *  spans for the observability exporter). */
+    std::vector<FfSpan> ffSpans;
 };
 
 /** The out-of-order core. */
@@ -177,6 +196,31 @@ class OooCore
     Cycles now() const { return cycle_; }
     unsigned id() const { return id_; }
     bool halted() const;
+
+    /** Fast-forward (sampled-detail) functional loop is active. */
+    bool fastForwarding() const { return ffMode_; }
+
+    /** The detail window is open through this cycle (diagnostic;
+     *  meaningful only with params().fastForward). */
+    Cycles detailUntil() const { return ffDetailUntil_; }
+
+    /**
+     * Fault hook consulted at every fast-forward mode transition:
+     * once when the core is about to enter the functional loop
+     * (`entering` true, pipeline already drained) and once right
+     * after it returns to detail (`entering` false). Returning a
+     * nonzero cycle count pins full detail for that many cycles
+     * from `now` — an entry consult that pins detail aborts the
+     * entry. Installed only by the chaos harness; unset it costs
+     * one bool check per transition.
+     */
+    using FfTransitionHook = std::function<Cycles(bool entering,
+                                                  Cycles now)>;
+
+    void setFfTransitionHook(FfTransitionHook hook)
+    {
+        ffTransitionHook_ = std::move(hook);
+    }
 
     /** Interrupt plumbing. */
     InterruptUnit &intrUnit() { return intr_; }
@@ -312,6 +356,22 @@ class OooCore
     unsigned fuPoolOf(OpClass cls) const;
     unsigned classLatency(const MicroOp &uop) const;
 
+    /** Fast-forward (sampled-detail) controller; see DESIGN.md §13.
+     *  All of these are reached only when params_.fastForward. */
+    void maybeEnterFastForward();
+    void enterFastForward();
+    void exitFastForward();
+    /** One functional cycle (the per-tick fast-forward step). */
+    void ffTick();
+    /** One functional macro instruction.
+     *  @return false when fast-forward must stop (halt reached or a
+     *          microcoded op needs the detailed pipeline). */
+    bool ffExecuteOne();
+    /** Bulk functional run toward absolute cycle `end`, stopping
+     *  ffWarmup cycles short of the next predicted interrupt
+     *  arrival. */
+    void ffAdvance(Cycles end);
+
     /** Emit a trace event when a tracer is attached. */
     void
     trace(TraceEvent ev, std::uint64_t seq = 0,
@@ -326,6 +386,14 @@ class OooCore
     observe(IntrStage stage, std::uint64_t span_id,
             IntrSource source, std::uint8_t vector)
     {
+        // Sampled-detail mode: every lifecycle event re-opens the
+        // detail window, so full out-of-order fidelity covers
+        // raise→accept→inject→deliver→return and the preempt
+        // save/restore edges plus detailWindow cycles after each.
+        if (params_.fastForward) {
+            ffDetailUntil_ = cycle_ + params_.detailWindow;
+            ffDrainPending_ = false;
+        }
         if (intrObs_)
             intrObs_->intrStage(stage, span_id, source, vector,
                                 cycle_, id_);
@@ -448,6 +516,40 @@ class OooCore
      *  can complete before the inner restore commits and pops
      *  preemptFrames_, so the frame stack alone is stale there. */
     unsigned restoresInFlight_ = 0;
+
+    // Fast-forward (sampled-detail) state. Touched only when
+    // params_.fastForward is set, which is what keeps ff-off runs
+    // structurally bit-identical to a build without the feature.
+    /** The functional loop is running instead of the pipeline. */
+    bool ffMode_ = false;
+    /** Window expired: program fetch is gated so the pipeline can
+     *  drain empty, the precondition for a clean mode handoff. */
+    bool ffDrainPending_ = false;
+    /** Detail window open through this cycle. */
+    Cycles ffDetailUntil_ = 0;
+    /** Chaos-harness fault hook at mode transitions (usually unset). */
+    FfTransitionHook ffTransitionHook_;
+    /** Committed instructions per cycle, Q16 fixed point,
+     *  recalibrated from each detailed phase at fast-forward
+     *  entry. */
+    std::uint64_t ffIpcQ16_ = 1u << 16;
+    /** Fractional instruction credit carried across ff cycles. */
+    std::uint64_t ffFracQ16_ = 0;
+    /** Start of the current calibration sample (last mode switch
+     *  into detail). */
+    Cycles ffCalibStartCycle_ = 0;
+    std::uint64_t ffCalibStartInsts_ = 0;
+    /** stats_.ffInsts at entry of the open ff span. */
+    std::uint64_t ffSpanStartInsts_ = 0;
+
+    /** Detailed phases shorter than this give no IPC sample. */
+    static constexpr std::uint64_t kFfCalibMinInsts = 64;
+    /** IPC model clamp: [1/16, 8] insts per cycle, Q16. */
+    static constexpr std::uint64_t kFfMinIpcQ16 = (1u << 16) / 16;
+    static constexpr std::uint64_t kFfMaxIpcQ16 = 8ull << 16;
+    /** Skippable gaps shorter than warmup + this are not worth the
+     *  drain + re-warm round trip. */
+    static constexpr Cycles kFfMinRegion = 64;
 
     CoreStats stats_;
 };

@@ -82,6 +82,9 @@ class UarchSystem
     Tracer *tracer_ = nullptr;
     IntrLifecycleObserver *intrObs_ = nullptr;
     std::vector<std::unique_ptr<OooCore>> cores_;
+    /** run() scan rotation: index of the core last seen active, so
+     *  the all-quiesced test fails fast while it stays busy. */
+    std::size_t scanHint_ = 0;
 };
 
 } // namespace xui

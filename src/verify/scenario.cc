@@ -87,6 +87,9 @@ runScenario(const ScenarioConfig &cfg, TraceLog *capture,
     params.strategy = cfg.strategy;
     params.safepointMode = cfg.safepointMode;
     params.tickSkip = cfg.tickSkip;
+    params.fastForward = cfg.fastForward;
+    params.detailWindow = cfg.detailWindow;
+    params.ffWarmup = cfg.ffWarmup;
 
     UarchSystem sys(cfg.systemSeed);
 
@@ -129,6 +132,11 @@ runScenario(const ScenarioConfig &cfg, TraceLog *capture,
     out.delivered = s.interruptsDelivered;
     out.reinjections = s.reinjections;
     out.cycles = core.now();
+    out.intrRecords = s.intrRecords;
+    out.ffEntries = s.ffEntries;
+    out.ffExits = s.ffExits;
+    out.ffInsts = s.ffInsts;
+    out.ffCycles = s.ffCycles;
 
     const std::uint32_t handler_entry = prog.handlerEntry();
     out.mainPcs.reserve(commitPcs.size());

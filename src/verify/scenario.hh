@@ -22,6 +22,7 @@
 #include "des/time.hh"
 #include "uarch/core_params.hh"
 #include "uarch/intr_observer.hh"
+#include "uarch/ooo_core.hh"
 #include "verify/fuzz.hh"
 #include "verify/trace_log.hh"
 
@@ -45,6 +46,18 @@ struct ScenarioConfig
      * digest equality of skipping vs. per-cycle ticking.
      */
     bool tickSkip = true;
+    /**
+     * Fast-forward (sampled-detail) mode (CoreParams::fastForward).
+     * Off keeps the digest-pinned exact mode; on runs the
+     * functional loop between interrupt activity with
+     * `detailWindow` cycles of full detail after every lifecycle
+     * event and `ffWarmup` cycles ahead of each predicted arrival.
+     * Adversarially small windows force mode transitions into every
+     * gap the controller can legally use.
+     */
+    bool fastForward = false;
+    Cycles detailWindow = 512;
+    Cycles ffWarmup = 256;
     FuzzProgramOptions program{};
     /** KB-timer period driving interrupt pressure. */
     Cycles timerPeriod = usToCycles(2);
@@ -77,6 +90,19 @@ struct ScenarioResult
     std::uint64_t delivered = 0;
     std::uint64_t reinjections = 0;
     Cycles cycles = 0;
+
+    /** Fast-forward accounting (zero in exact-mode runs). */
+    std::uint64_t ffEntries = 0;
+    std::uint64_t ffExits = 0;
+    std::uint64_t ffInsts = 0;
+    Cycles ffCycles = 0;
+
+    /**
+     * Full per-interrupt timeline records, copied out of CoreStats
+     * so the statistical-equivalence checker (statcheck.hh) can
+     * compare delivery-latency distributions across runs.
+     */
+    std::vector<IntrRecord> intrRecords;
 
     /** Mean raise -> handler-start latency (deliveryExecAt). */
     double meanHandlerStartLatency = 0.0;

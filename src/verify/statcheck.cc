@@ -1,0 +1,120 @@
+#include "verify/statcheck.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/span.hh"
+
+namespace xui
+{
+
+namespace
+{
+
+/** Nearest-rank percentile over a sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = std::ceil(p / 100.0 *
+                            static_cast<double>(sorted.size()));
+    std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+double
+pctDelta(double detail, double sampled)
+{
+    if (detail == 0.0)
+        return sampled == 0.0 ? 0.0 : 100.0;
+    return (sampled - detail) / detail * 100.0;
+}
+
+} // namespace
+
+LatencyDist
+deliveryLatencyDist(const std::vector<IntrRecord> &records,
+                    IntrSource source)
+{
+    std::vector<double> lat;
+    double sum = 0.0;
+    for (const IntrRecord &r : records) {
+        if (r.source != source || r.deliveryCommitAt == 0)
+            continue;
+        double d =
+            static_cast<double>(r.deliveryCommitAt - r.raisedAt);
+        lat.push_back(d);
+        sum += d;
+    }
+    LatencyDist out;
+    out.count = lat.size();
+    if (lat.empty())
+        return out;
+    std::sort(lat.begin(), lat.end());
+    out.p50 = percentile(lat, 50.0);
+    out.p99 = percentile(lat, 99.0);
+    out.mean = sum / static_cast<double>(lat.size());
+    return out;
+}
+
+StatEquivalenceReport
+checkStatEquivalence(const std::vector<IntrRecord> &detail,
+                     const std::vector<IntrRecord> &sampled,
+                     double tolPct, std::uint64_t minCount)
+{
+    StatEquivalenceReport rep;
+    std::ostringstream msg;
+    bool any = false;
+    bool fail = false;
+    for (IntrSource src : {IntrSource::UserIpi, IntrSource::KbTimer,
+                           IntrSource::Forwarded}) {
+        LatencyDist d = deliveryLatencyDist(detail, src);
+        if (d.count < minCount)
+            continue;  // not enough detail-side mass to compare
+        any = true;
+        SourceDelta row;
+        row.source = src;
+        row.detail = d;
+        row.sampled = deliveryLatencyDist(sampled, src);
+        row.p50DeltaPct = pctDelta(d.p50, row.sampled.p50);
+        row.p99DeltaPct = pctDelta(d.p99, row.sampled.p99);
+        row.countDeltaPct =
+            pctDelta(static_cast<double>(d.count),
+                     static_cast<double>(row.sampled.count));
+        row.within = row.sampled.count > 0 &&
+            std::abs(row.p50DeltaPct) <= tolPct &&
+            std::abs(row.p99DeltaPct) <= tolPct &&
+            std::abs(row.countDeltaPct) <= 2.0 * tolPct;
+        rep.worstP50Pct = std::max(rep.worstP50Pct,
+                                   std::abs(row.p50DeltaPct));
+        rep.worstP99Pct = std::max(rep.worstP99Pct,
+                                   std::abs(row.p99DeltaPct));
+        if (!row.within) {
+            fail = true;
+            msg << intrSourceName(src) << ": p50 " << row.detail.p50
+                << " -> " << row.sampled.p50 << " ("
+                << row.p50DeltaPct << "%), p99 " << row.detail.p99
+                << " -> " << row.sampled.p99 << " ("
+                << row.p99DeltaPct << "%), count " << row.detail.count
+                << " -> " << row.sampled.count << " ("
+                << row.countDeltaPct << "%), tol " << tolPct
+                << "%; ";
+        }
+        rep.sources.push_back(row);
+    }
+    if (!any) {
+        rep.message = "no interrupt source delivered enough "
+                      "interrupts in the detail run to compare";
+        return rep;
+    }
+    rep.ok = !fail;
+    if (fail)
+        rep.message = msg.str();
+    return rep;
+}
+
+} // namespace xui

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Statistical-equivalence checker for sampled-detail (fast-forward)
+ * runs. Exact mode is digest-guarded: any drift is a bug. Sampled
+ * mode deliberately trades cycle-exactness for speed, so its
+ * contract is statistical instead — per-source delivery-latency
+ * distributions (raise -> delivery-commit) must stay within a
+ * percentage tolerance of the full-detail run. Every interrupt
+ * lifecycle executes inside a detail window, so the latencies being
+ * compared are all detailed-phase measurements; the checker is
+ * probing whether the fast-forwarded gaps biased the state the
+ * windows re-enter with (pipeline warmth, cache/predictor state,
+ * timer phase), not whether the functional loop mis-times events.
+ */
+
+#ifndef XUI_VERIFY_STATCHECK_HH
+#define XUI_VERIFY_STATCHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/ooo_core.hh"
+
+namespace xui
+{
+
+/**
+ * Nearest-rank percentiles of raise -> delivery-commit latency for
+ * one interrupt source. Only records whose delivery committed are
+ * counted (a run that ends mid-handler drops the open record on
+ * both sides).
+ */
+struct LatencyDist
+{
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double mean = 0.0;
+};
+
+/** Distribution over `records` restricted to `source`. */
+LatencyDist deliveryLatencyDist(const std::vector<IntrRecord> &records,
+                                IntrSource source);
+
+/** Per-source comparison row of a sampled run against detail. */
+struct SourceDelta
+{
+    IntrSource source{};
+    LatencyDist detail;
+    LatencyDist sampled;
+    /** Signed percentage deltas, sampled relative to detail. */
+    double p50DeltaPct = 0.0;
+    double p99DeltaPct = 0.0;
+    double countDeltaPct = 0.0;
+    bool within = false;
+};
+
+/** Whole-run statistical-equivalence verdict. */
+struct StatEquivalenceReport
+{
+    bool ok = false;
+    /** Largest absolute p50 / p99 delta over all compared sources. */
+    double worstP50Pct = 0.0;
+    double worstP99Pct = 0.0;
+    std::vector<SourceDelta> sources;
+    /** Human-readable failure detail (empty when ok). */
+    std::string message;
+};
+
+/**
+ * Compare a sampled (fast-forward) run's interrupt records against
+ * the full-detail run of the same workload. Every source that
+ * delivered at least `minCount` interrupts in the detail run is
+ * compared; its p50 and p99 must be within `tolPct` percent and its
+ * delivery count within `2 * tolPct` percent (counts drift when the
+ * IPC model stretches or shrinks the inter-arrival work, so the
+ * count gate is looser but still catches lost or duplicated
+ * streams). A source present in detail but absent from the sampled
+ * run fails outright. Latencies are deterministic functions of the
+ * seeds, so the verdict is host-independent and safe to gate CI on.
+ */
+StatEquivalenceReport
+checkStatEquivalence(const std::vector<IntrRecord> &detail,
+                     const std::vector<IntrRecord> &sampled,
+                     double tolPct, std::uint64_t minCount = 8);
+
+} // namespace xui
+
+#endif // XUI_VERIFY_STATCHECK_HH

@@ -897,6 +897,135 @@ TEST(Chaos, ShrunkPreemptStormReproReplaysBitIdentically)
     EXPECT_TRUE(chaos::runCell(rescued).passed);
 }
 
+TEST(FaultSchedule, FfSitesLeaveOldSchedulesByteIdentical)
+{
+    // The fast-forward boundary fault classes default off, so every
+    // schedule generated before the sampled-detail mode existed must
+    // stay byte-identical — same contract the moderation and
+    // preempt-save sites honored when they were added.
+    fault::Schedule def =
+        fault::generateSchedule(42, fault::ScheduleOptions{});
+    EXPECT_EQ(def.encode().find("ff_transition"), std::string::npos);
+
+    fault::ScheduleOptions opts;
+    opts.delayFfDetail = true;
+    opts.dropFfRaise = true;
+    opts.directives = 64;
+    fault::Schedule s = fault::generateSchedule(42, opts);
+    EXPECT_NE(s.encode().find("ff_transition"), std::string::npos);
+}
+
+TEST(Chaos, FfBoundaryCellsPassAndExerciseTransitions)
+{
+    // Grid-option cells (detail pins + boundary-armed drops) must
+    // pass the conservation and timeline invariants, engage the
+    // fast-forward controller, and actually land faults on the
+    // transition site.
+    std::uint64_t injected = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t dropped = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        chaos::CellConfig cc;
+        cc.kind = chaos::ScenarioKind::FfBoundary;
+        cc.seed = seed;
+        fault::ScheduleOptions opts;
+        opts.dropNotification = false;
+        opts.delayNotification = false;
+        opts.duplicateNotification = false;
+        opts.reorderUpid = false;
+        opts.stormNotification = false;
+        opts.timerMisfire = false;
+        opts.timerDelay = false;
+        opts.timerSpurious = false;
+        opts.dropForward = false;
+        opts.delayForward = false;
+        opts.descheduleWindow = false;
+        opts.delayFfDetail = true;
+        opts.dropFfRaise = true;
+        cc.schedule = fault::generateSchedule(
+            chaos::cellScheduleSeed(cc.kind, seed), opts);
+        chaos::CellResult r = chaos::runCell(cc);
+        EXPECT_TRUE(r.passed)
+            << "seed " << seed << ": "
+            << (r.violations.empty() ? "?" : r.violations[0]);
+        EXPECT_GT(r.ffEntries, 0u) << "seed " << seed;
+        injected += r.injected;
+        entries += r.ffEntries;
+        dropped += r.ffRaisesDropped;
+    }
+    EXPECT_GT(injected, 0u);
+    EXPECT_GT(entries, 0u);
+    EXPECT_GT(dropped, 0u);
+}
+
+TEST(Chaos, ShrunkFfBoundaryReproReplaysBitIdentically)
+{
+    // The .repro contract for the boundary scenario: a doubled raise
+    // at a mode transition is an unconditional conservation failure
+    // (the uarch tier has no dedup), so craft one, shrink it,
+    // round-trip the shrunk schedule through its text encoding, and
+    // the replay must reproduce the identical result run after run.
+    chaos::CellConfig failing;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+        chaos::CellConfig cc;
+        cc.kind = chaos::ScenarioKind::FfBoundary;
+        cc.seed = seed;
+        fault::ScheduleOptions opts;
+        opts.dropNotification = false;
+        opts.delayNotification = false;
+        opts.duplicateNotification = false;
+        opts.reorderUpid = false;
+        opts.stormNotification = false;
+        opts.timerMisfire = false;
+        opts.timerDelay = false;
+        opts.timerSpurious = false;
+        opts.dropForward = false;
+        opts.delayForward = false;
+        opts.descheduleWindow = false;
+        opts.duplicateFfRaise = true;
+        cc.schedule = fault::generateSchedule(
+            chaos::cellScheduleSeed(cc.kind, seed), opts);
+        if (!chaos::runCell(cc).passed) {
+            failing = cc;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found) << "no failing ff_boundary cell in 40 seeds";
+
+    fault::Schedule minimal = chaos::shrink(failing);
+    EXPECT_GE(minimal.size(), 1u);
+    EXPECT_LE(minimal.size(), failing.schedule.size());
+
+    // 1-minimal: removing any remaining directive makes it pass.
+    for (std::size_t i = 0; i < minimal.size(); ++i) {
+        fault::Schedule sub = minimal;
+        sub.directives.erase(sub.directives.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        chaos::CellConfig p = failing;
+        p.schedule = sub;
+        EXPECT_TRUE(chaos::runCell(p).passed) << i;
+    }
+
+    fault::Schedule decoded;
+    ASSERT_TRUE(fault::Schedule::decode(minimal.encode(), decoded));
+    EXPECT_EQ(minimal.encode(), decoded.encode());
+
+    chaos::CellConfig replay = failing;
+    replay.schedule = decoded;
+    chaos::CellResult a = chaos::runCell(replay);
+    chaos::CellResult b = chaos::runCell(replay);
+    EXPECT_FALSE(a.passed);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.posted, b.posted);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.ffEntries, b.ffEntries);
+    EXPECT_EQ(a.ffExits, b.ffExits);
+    EXPECT_EQ(a.ffRaisesDropped, b.ffRaisesDropped);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.violations, b.violations);
+}
+
 TEST(Chaos, ScenarioNamesRoundTrip)
 {
     for (std::size_t i = 0; i < chaos::kNumScenarios; ++i) {

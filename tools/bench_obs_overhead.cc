@@ -8,12 +8,13 @@
  *
  *   A  detached  — no cycle hook installed (the shipping default);
  *   B  attached  — a profiler probe installed with sampling AND tax
- *                  off, so the hook's fast path (countdown decrement
- *                  + liveSpans test, no virtual call) runs every
+ *                  off, so the hook's fast path (two integer
+ *                  compares against the absolute liveSpans /
+ *                  nextSampleAt marks, no virtual call) runs every
  *                  cycle but never fires.
  *
  * B's cost is a strict upper bound on the cost the hook adds to an
- * unprofiled run: the detached path is B minus even the decrement.
+ * unprofiled run: the detached path is B minus even the compares.
  * The gate fails (exit 1) when the median attached slowdown exceeds
  * 2% — the budget CI grants the whole observation layer.
  *
