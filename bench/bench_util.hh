@@ -13,6 +13,12 @@
  * cycle around interrupt spans), and `--tax` attributes every cycle
  * under a live interrupt span to flush/refill/ucode/handler/shadow
  * buckets (`core.tax.*` in the metrics snapshot).
+ * Checkpoint/restore rides on the same session: `--checkpoint-every
+ * N` snapshots the checkpoint-capable scenario into a
+ * crash-consistent generation set, `--restore FILE` resumes from a
+ * snapshot (provenance-strict), and `--version` prints the build's
+ * git SHA, build type, and snapshot format version (the values
+ * stamped into every snapshot header).
  * Unknown flags, flags missing their value, and malformed `--jobs`
  * values (0, signs, non-digits) are errors: usage goes to stderr
  * and the bench exits with status 2.
@@ -28,6 +34,8 @@
 #include <cstring>
 #include <string>
 
+#include "ckpt/build_info.hh"
+#include "ckpt/snapshot.hh"
 #include "exec/sweep.hh"
 #include "intr/policy.hh"
 
@@ -175,6 +183,20 @@ struct Options
      * interrupt lifecycle event in sampled passes (>= 1).
      */
     std::uint64_t detailWindow = 512;
+    /**
+     * `--checkpoint-every N`: snapshot the checkpoint-capable
+     * scenario every N committed cycles into a crash-consistent
+     * on-disk generation set (0 = off). The bench reports snapshot
+     * cost alongside its usual rates (EXPERIMENTS.md recovery-time
+     * table).
+     */
+    std::uint64_t checkpointEvery = 0;
+    /**
+     * `--restore FILE`: resume the checkpoint-capable scenario from
+     * a snapshot file instead of starting fresh. Provenance-strict:
+     * a snapshot from a different binary is refused loudly.
+     */
+    std::string restorePath;
 };
 
 inline void
@@ -187,7 +209,9 @@ printUsage(std::FILE *out, const char *prog)
                  "       [--policy %s]\n"
                  "       [--itr-ns N] [--offered-load X]\n"
                  "       [--rt-vector V] [--priority P]\n"
-                 "       [--ff] [--detail-window N]\n",
+                 "       [--ff] [--detail-window N]\n"
+                 "       [--checkpoint-every N] [--restore FILE]\n"
+                 "       [--version]\n",
                  prog, policyUsageNames());
 }
 
@@ -355,6 +379,38 @@ parseArgs(int argc, char **argv)
                 printUsage(stderr, argv[0]);
                 std::exit(2);
             }
+        } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --checkpoint-every needs a "
+                             "value\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            const char *v = argv[++i];
+            if (!parseU64Strict(v, opts.checkpointEvery) ||
+                opts.checkpointEvery == 0) {
+                std::fprintf(stderr,
+                             "%s: --checkpoint-every needs an "
+                             "integer >= 1, got '%s'\n",
+                             argv[0], v);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+        } else if (std::strcmp(arg, "--restore") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --restore needs a file\n",
+                             argv[0]);
+                printUsage(stderr, argv[0]);
+                std::exit(2);
+            }
+            opts.restorePath = argv[++i];
+        } else if (std::strcmp(arg, "--version") == 0) {
+            std::printf("%s %s (%s), snapshot format %u\n", argv[0],
+                        ckpt::kBuildGitSha, ckpt::kBuildType,
+                        static_cast<unsigned>(ckpt::kFormatVersion));
+            std::exit(0);
         } else if (std::strcmp(arg, "--tax") == 0) {
             opts.tax = true;
         } else if (std::strcmp(arg, "--trace-json") == 0) {

@@ -40,6 +40,12 @@
  * BENCH_parallel.json with sims/sec and speedup-vs-serial. The
  * canonical four scenarios above stay serial so their wall-clock
  * rates remain comparable against kBaseline.
+ *
+ * `--checkpoint-every N` / `--restore FILE` switch to a dedicated
+ * checkpoint/restore mode on the fuzz scenario: snapshot cost per
+ * interval, whole-run overhead, estimated replay-on-crash time (the
+ * EXPERIMENTS.md recovery-time table), and a bit-identity check of
+ * the checkpointed/restored run against an uninterrupted reference.
  */
 
 #include <cstdio>
@@ -49,6 +55,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "ckpt/codec.hh"
 #include "exec/sweep.hh"
 #include "des/simulation.hh"
 #include "net/l3fwd.hh"
@@ -58,6 +65,7 @@
 #include "uarch/cosim.hh"
 #include "uarch/uarch_system.hh"
 #include "verify/scenario.hh"
+#include "verify/scenario_run.hh"
 #include "verify/statcheck.hh"
 #include "workloads/kernels.hh"
 
@@ -680,6 +688,153 @@ writeJson(const char *path, const std::vector<SpeedResult> &results,
     std::fclose(f);
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint/restore mode (--checkpoint-every / --restore)
+// ----------------------------------------------------------------------
+
+/**
+ * Dedicated mode measuring the cost side of the recovery-time
+ * trade-off (EXPERIMENTS.md): run the fuzz scenario with a snapshot
+ * every N cycles into the crash-consistent generation set
+ * `BENCH_simspeed.ckpt.gen*` (kept on disk: `--restore` consumes
+ * them), report per-snapshot cost and whole-run overhead against an
+ * uncheckpointed reference, and verify the checkpointed — or
+ * restored — run stays bit-identical to the reference. Exit 1 on
+ * digest divergence or a refused restore (corrupt file, wrong
+ * binary).
+ */
+int
+runCheckpointMode(const bench::Options &opts)
+{
+    ScenarioConfig cfg;
+    cfg.programSeed = opts.seed + 4;
+    cfg.systemSeed = opts.seed + 4;
+    cfg.targetInsts = opts.quick ? 15'000 : 150'000;
+
+    // Uninterrupted reference: correctness oracle and wall-clock
+    // baseline. Same config recipe as runFuzz, so the scenario is
+    // a pure function of (--seed, --quick) — the reason a restored
+    // snapshot lines up without serializing the config.
+    WallTimer tRef;
+    ScenarioRun ref(cfg);
+    ref.runToEnd();
+    const double refWall = tRef.seconds();
+    const ScenarioResult refRes = ref.finish();
+
+    ScenarioRun run(cfg);
+    double restoreWall = 0.0;
+    Cycles resumedAt = 0;
+    if (!opts.restorePath.empty()) {
+        WallTimer tRestore;
+        ckpt::Snapshot snap;
+        ckpt::LoadStatus st =
+            ckpt::loadSnapshot(opts.restorePath, snap);
+        if (st != ckpt::LoadStatus::Ok) {
+            std::fprintf(stderr, "simspeed: restore %s: %s\n",
+                         opts.restorePath.c_str(),
+                         ckpt::loadStatusName(st));
+            return 1;
+        }
+        ckpt::Reader r(snap.payload);
+        if (!run.loadState(r)) {
+            std::fprintf(stderr,
+                         "simspeed: restore %s: snapshot payload "
+                         "does not decode into this scenario "
+                         "(different --seed/--quick?)\n",
+                         opts.restorePath.c_str());
+            return 1;
+        }
+        restoreWall = tRestore.seconds();
+        resumedAt = run.now();
+    }
+
+    ckpt::GenerationSet gens("BENCH_simspeed.ckpt");
+    std::uint64_t snaps = 0;
+    double snapWall = 0.0;
+    WallTimer tRun;
+    if (opts.checkpointEvery != 0) {
+        while (run.advance(opts.checkpointEvery)) {
+            WallTimer tSnap;
+            ckpt::Writer w;
+            run.saveState(w);
+            ckpt::Snapshot snap;
+            snap.tag = "simspeed_fuzz";
+            snap.payload = w.take();
+            ckpt::SaveResult sr = gens.save(std::move(snap));
+            if (!sr.ok) {
+                std::fprintf(stderr,
+                             "simspeed: snapshot save failed: %s\n",
+                             sr.error.c_str());
+                return 1;
+            }
+            snapWall += tSnap.seconds();
+            ++snaps;
+        }
+    } else {
+        run.runToEnd();
+    }
+    const double runWall = tRun.seconds();
+    const ScenarioResult res = run.finish();
+
+    const bool identical = res.fullDigest == refRes.fullDigest &&
+                           res.eventCount == refRes.eventCount &&
+                           res.cycles == refRes.cycles;
+
+    std::printf("checkpoint/restore (fuzz scenario, %llu cycles)\n",
+                static_cast<unsigned long long>(refRes.cycles));
+    if (!opts.restorePath.empty())
+        std::printf("  restored from %s at cycle %llu "
+                    "(load+decode %.3f ms)\n",
+                    opts.restorePath.c_str(),
+                    static_cast<unsigned long long>(resumedAt),
+                    restoreWall * 1e3);
+    if (opts.checkpointEvery != 0) {
+        // Crash-recovery model: restore the newest generation, then
+        // replay from the snapshot to the crash point — on average
+        // half an interval of re-simulated work.
+        const double detailRate =
+            refWall > 0.0
+                ? static_cast<double>(refRes.cycles) / refWall
+                : 0.0;
+        const double meanReplaySec =
+            detailRate > 0.0
+                ? static_cast<double>(opts.checkpointEvery) / 2.0 /
+                      detailRate
+                : 0.0;
+        std::printf(
+            "  interval %llu cycles: %llu snapshots, "
+            "%.3f ms each (%.3f s total)\n",
+            static_cast<unsigned long long>(opts.checkpointEvery),
+            static_cast<unsigned long long>(snaps),
+            snaps != 0 ? snapWall * 1e3 /
+                             static_cast<double>(snaps)
+                       : 0.0,
+            snapWall);
+        std::printf("  run %.3f s vs reference %.3f s "
+                    "(overhead %.1f%%); est. mean replay on crash "
+                    "%.3f s\n",
+                    runWall, refWall,
+                    refWall > 0.0
+                        ? (runWall / refWall - 1.0) * 100.0
+                        : 0.0,
+                    meanReplaySec);
+        std::printf("  snapshots kept: BENCH_simspeed.ckpt.gen0..%u "
+                    "(resume: --restore FILE)\n",
+                    gens.keep() - 1);
+    }
+    std::printf("  digest %s: %016llx vs reference %016llx\n",
+                identical ? "MATCH" : "MISMATCH",
+                static_cast<unsigned long long>(res.fullDigest),
+                static_cast<unsigned long long>(refRes.fullDigest));
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: checkpointed/restored run diverged "
+                     "from the uninterrupted reference\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -690,6 +845,12 @@ main(int argc, char **argv)
                   "scenarios",
                   "infrastructure (no paper figure): cycles/sec + "
                   "events/sec baseline");
+
+    // Checkpoint/restore is its own mode (like a figure section):
+    // the canonical scenarios stay serial and uncheckpointed so
+    // their rates remain comparable against kBaseline.
+    if (opts.checkpointEvery != 0 || !opts.restorePath.empty())
+        return runCheckpointMode(opts);
 
     std::vector<SpeedResult> results;
     results.push_back(runFig2(opts));

@@ -374,19 +374,39 @@ EventQueue::peekNextTime()
 std::vector<EventQueue::PendingEvent>
 EventQueue::pendingSnapshot(std::size_t max) const
 {
+    auto less = [](const PendingEvent &a, const PendingEvent &b) {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    };
     std::vector<PendingEvent> out;
-    out.reserve(live_);
-    for (const Event &e : pool_) {
-        if (e.level != kUnlinked)
-            out.push_back(PendingEvent{e.when, e.seq});
+    if (max == 0) {
+        out.reserve(live_);
+        for (const Event &e : pool_) {
+            if (e.level != kUnlinked)
+                out.push_back(PendingEvent{e.when, e.seq});
+        }
+        std::sort(out.begin(), out.end(), less);
+        return out;
     }
-    std::sort(out.begin(), out.end(),
-              [](const PendingEvent &a, const PendingEvent &b) {
-                  return a.when != b.when ? a.when < b.when
-                                          : a.seq < b.seq;
-              });
-    if (max != 0 && out.size() > max)
-        out.resize(max);
+    // Bounded top-k: a max-heap of the k smallest (when, seq) seen
+    // so far — O(pool log k) time and O(k) memory, so a watchdog
+    // trip against a runaway queue with millions pending reports in
+    // microseconds instead of copying and sorting the whole pool
+    // (it can trip repeatedly: rollback-retry re-runs the cell).
+    out.reserve(max);
+    for (const Event &e : pool_) {
+        if (e.level == kUnlinked)
+            continue;
+        PendingEvent p{e.when, e.seq};
+        if (out.size() < max) {
+            out.push_back(p);
+            std::push_heap(out.begin(), out.end(), less);
+        } else if (less(p, out.front())) {
+            std::pop_heap(out.begin(), out.end(), less);
+            out.back() = p;
+            std::push_heap(out.begin(), out.end(), less);
+        }
+    }
+    std::sort_heap(out.begin(), out.end(), less);
     return out;
 }
 

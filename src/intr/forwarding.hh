@@ -46,6 +46,9 @@ class Dupid
 
     const Bitset256 &pending() const { return pending_; }
 
+    /** Raw restore, for checkpoint load. */
+    void loadPending(const Bitset256 &pending) { pending_ = pending; }
+
   private:
     Bitset256 pending_;
 };
@@ -106,6 +109,15 @@ class ForwardingUnit
 
     /** Clear a specific UIRR bit. */
     void clearUirr(unsigned vector) { uirr_.clear(vector); }
+
+    /** Raw restore of all three registers, for checkpoint load. */
+    void loadRegisters(const Bitset256 &enabled,
+                       const Bitset256 &active, const Bitset256 &uirr)
+    {
+        enabled_ = enabled;
+        active_ = active;
+        uirr_ = uirr;
+    }
 
   private:
     Bitset256 enabled_;

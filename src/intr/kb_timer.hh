@@ -115,6 +115,22 @@ class KbTimer
      */
     bool restore(const KbTimerSave &save, Cycles now);
 
+    /**
+     * Raw state restore for checkpoint load. Unlike restore(), this
+     * applies no missed-deadline policy — the bits come back exactly
+     * as they were saved.
+     */
+    void loadRawState(bool enabled, std::uint8_t vector, bool armed,
+                      KbTimerMode mode, Cycles deadline, Cycles period)
+    {
+        enabled_ = enabled;
+        vector_ = vector;
+        armed_ = armed;
+        mode_ = mode;
+        deadline_ = deadline;
+        period_ = period;
+    }
+
   private:
     bool enabled_ = false;
     std::uint8_t vector_ = 0;

@@ -89,6 +89,13 @@ class Upid
     std::uint64_t rawLow() const { return low_; }
     std::uint64_t rawPir() const { return pir_; }
 
+    /** Raw word restore, for checkpoint load. */
+    void loadRaw(std::uint64_t low, std::uint64_t pir)
+    {
+        low_ = low;
+        pir_ = pir;
+    }
+
   private:
     std::uint64_t low_;
     std::uint64_t pir_;

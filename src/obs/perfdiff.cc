@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "ckpt/build_info.hh"
+#include "ckpt/snapshot.hh"
 #include "obs/json_parse.hh"
 
 namespace xui
@@ -157,6 +159,7 @@ usage(std::FILE *out, const char *prog)
         "                      skip. '*' wildcards; first matching "
         "rule wins.\n"
         "  --list              print every compared metric\n"
+        "  --version           print build provenance and exit\n"
         "exit status: 0 within tolerance, 1 regressions, 2 usage "
         "or parse error\n",
         prog);
@@ -216,6 +219,11 @@ perfdiffMain(int argc, char **argv)
             list = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             usage(stdout, prog);
+            return 0;
+        } else if (std::strcmp(arg, "--version") == 0) {
+            std::printf("%s %s (%s), snapshot format %u\n", prog,
+                        ckpt::kBuildGitSha, ckpt::kBuildType,
+                        static_cast<unsigned>(ckpt::kFormatVersion));
             return 0;
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "%s: unknown argument '%s'\n",

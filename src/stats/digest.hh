@@ -56,6 +56,17 @@ class Fnv1a
         bytes_ = 0;
     }
 
+    /**
+     * Restore a mid-stream state captured by a snapshot. FNV-1a's
+     * whole state is (hash, byte count), so resuming from these two
+     * words continues the stream exactly where it left off.
+     */
+    void restore(std::uint64_t hash, std::uint64_t bytes)
+    {
+        hash_ = hash;
+        bytes_ = bytes;
+    }
+
   private:
     std::uint64_t hash_ = kOffsetBasis;
     std::uint64_t bytes_ = 0;

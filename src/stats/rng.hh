@@ -62,6 +62,14 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Raw xoshiro256** state, for checkpoint save/restore. The four
+     * words ARE the complete generator state; restoring them resumes
+     * the stream bit-exactly.
+     */
+    std::uint64_t stateWord(unsigned i) const { return s_[i]; }
+    void setStateWord(unsigned i, std::uint64_t v) { s_[i] = v; }
+
   private:
     std::uint64_t s_[4];
 };

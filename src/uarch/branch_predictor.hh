@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/codec.hh"
+
 namespace xui
 {
 
@@ -47,6 +49,27 @@ class BranchPredictor
 
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Checkpoint the PHT, history, and counters (masks are
+     *  constructor-derived and validated by table size). */
+    void saveState(ckpt::Writer &w) const
+    {
+        w.u64(table_.size());
+        w.bytes(table_.data(), table_.size());
+        w.u64(history_);
+        w.u64(lookups_);
+        w.u64(mispredicts_);
+    }
+
+    bool loadState(ckpt::Reader &r)
+    {
+        std::uint64_t n = 0;
+        if (!r.u64(n) || n != table_.size())
+            return r.fail();
+        return r.bytes(table_.data(), table_.size()) &&
+               r.u64(history_) && r.u64(lookups_) &&
+               r.u64(mispredicts_);
+    }
 
   private:
     std::size_t index(std::uint64_t pc) const;

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/codec.hh"
+
 namespace xui
 {
 
@@ -52,6 +54,35 @@ class Cache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     unsigned hitLatency() const { return hitLatency_; }
+
+    /**
+     * Checkpoint the mutable state (tags, LRU stamps, counters).
+     * Geometry comes from the constructor, so load validates the
+     * line count instead of serializing the configuration.
+     */
+    void saveState(ckpt::Writer &w) const
+    {
+        w.u64(lines_.size());
+        for (const Line &l : lines_) {
+            w.b(l.valid);
+            w.u64(l.tag);
+            w.u64(l.lruStamp);
+        }
+        w.u64(stamp_);
+        w.u64(hits_);
+        w.u64(misses_);
+    }
+
+    bool loadState(ckpt::Reader &r)
+    {
+        std::uint64_t n = 0;
+        if (!r.u64(n) || n != lines_.size())
+            return r.fail();
+        for (Line &l : lines_)
+            if (!r.b(l.valid) || !r.u64(l.tag) || !r.u64(l.lruStamp))
+                return false;
+        return r.u64(stamp_) && r.u64(hits_) && r.u64(misses_);
+    }
 
   private:
     struct Line
@@ -117,6 +148,19 @@ class MemHierarchy
     const Cache &llc() const { return llc_; }
 
     const MemHierarchyParams &params() const { return params_; }
+
+    void saveState(ckpt::Writer &w) const
+    {
+        llc_.saveState(w);
+        l2_.saveState(w);
+        l1_.saveState(w);
+    }
+
+    bool loadState(ckpt::Reader &r)
+    {
+        return llc_.loadState(r) && l2_.loadState(r) &&
+               l1_.loadState(r);
+    }
 
   private:
     MemHierarchyParams params_;

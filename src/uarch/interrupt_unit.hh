@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/codec.hh"
 #include "des/time.hh"
 #include "intr/policy.hh"
 
@@ -206,6 +207,74 @@ class InterruptUnit
 
     /** uiret committed: delivery is complete. */
     void onHandlerReturn();
+
+    /**
+     * Checkpoint everything except the raise fault hook, which is
+     * harness-owned and reattached after load by whoever installed
+     * it (chaos cells re-install their own).
+     */
+    void saveState(ckpt::Writer &w) const
+    {
+        auto putIntr = [&w](const PendingIntr &p) {
+            w.u8(static_cast<std::uint8_t>(p.source));
+            w.u8(p.vector);
+            w.u64(p.raisedAt);
+            w.u64(p.spanId);
+        };
+        w.u64(pending_.size());
+        for (const PendingIntr &p : pending_)
+            putIntr(p);
+        putIntr(current_);
+        w.u8(static_cast<std::uint8_t>(state_));
+        w.b(uif_);
+        w.u64(nextSpanId_);
+        w.bytes(prio_, sizeof(prio_));
+        w.b(prioEnabled_);
+        w.u64(preemptStack_.size());
+        for (const PendingIntr &p : preemptStack_)
+            putIntr(p);
+    }
+
+    bool loadState(ckpt::Reader &r)
+    {
+        auto getIntr = [&r](PendingIntr &p) {
+            std::uint8_t src = 0;
+            if (!r.u8(src) || src > 2)
+                return r.fail();
+            p.source = static_cast<IntrSource>(src);
+            return r.u8(p.vector) && r.u64(p.raisedAt) &&
+                   r.u64(p.spanId);
+        };
+        std::uint64_t n = 0;
+        if (!r.u64(n) || n > (1u << 20))
+            return r.fail();
+        pending_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            PendingIntr p{};
+            if (!getIntr(p))
+                return false;
+            pending_.push_back(p);
+        }
+        if (!getIntr(current_))
+            return false;
+        std::uint8_t st = 0;
+        if (!r.u8(st) || st > 3)
+            return r.fail();
+        state_ = static_cast<TrackerState>(st);
+        if (!r.b(uif_) || !r.u64(nextSpanId_) ||
+            !r.bytes(prio_, sizeof(prio_)) || !r.b(prioEnabled_))
+            return false;
+        if (!r.u64(n) || n > (1u << 20))
+            return r.fail();
+        preemptStack_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            PendingIntr p{};
+            if (!getIntr(p))
+                return false;
+            preemptStack_.push_back(p);
+        }
+        return r.ok();
+    }
 
   private:
     /** Pop the pending entry accept()/beginPreempt() should take. */

@@ -27,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/codec.hh"
 #include "des/time.hh"
 #include "intr/forwarding.hh"
 #include "intr/kb_timer.hh"
@@ -269,6 +270,26 @@ class OooCore
 
     const CoreStats &stats() const { return stats_; }
 
+    /**
+     * Checkpoint the complete core state (implemented in
+     * core_ckpt.cc). Capture happens at an inter-tick boundary; the
+     * payload covers every run-to-run-visible member — pipeline
+     * structures, interrupt plumbing, caches, predictor, RNG, stats
+     * — except harness attachments (tracer/observer/hooks/system),
+     * which the restoring harness re-wires itself.
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /**
+     * Restore from a payload produced by saveState() on a core
+     * constructed with the same (params, program, id). Derived
+     * structures (rename table, readiness ring, completion wheel,
+     * IQ list) are rebuilt rather than deserialized.
+     * @return false on malformed or mismatched data (the core is
+     *         then unusable and must be discarded).
+     */
+    bool loadState(ckpt::Reader &r);
+
   private:
     /** One in-flight micro-op. */
     struct RobEntry
@@ -340,6 +361,15 @@ class OooCore
                            std::uint32_t recovery_pc,
                            std::uint64_t history);
     void rebuildRenameTable();
+    /** Checkpoint helpers (core_ckpt.cc). */
+    static void saveUop(ckpt::Writer &w, const MicroOp &uop);
+    static bool loadUop(ckpt::Reader &r, MicroOp &uop);
+    static void saveRobEntry(ckpt::Writer &w, const RobEntry &e);
+    static bool loadRobEntry(ckpt::Reader &r, RobEntry &e);
+    static void saveIntrRecord(ckpt::Writer &w, const IntrRecord &rec);
+    static bool loadIntrRecord(ckpt::Reader &r, IntrRecord &rec);
+    /** Rebuild ring + completion wheel from rob_ after loadState. */
+    void rebuildExecStructures();
     void applyCommitEffect(const RobEntry &entry);
     bool depReady(std::uint64_t dep) const;
     /** Earliest cycle `dep` can be ready (0 when ready now). */

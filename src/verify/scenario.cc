@@ -76,50 +76,11 @@ checkInterruptFacts(const CoreStats &s, ScenarioResult &out)
 } // namespace
 
 ScenarioResult
-runScenario(const ScenarioConfig &cfg, TraceLog *capture,
-            Tracer *extraTracer, IntrLifecycleObserver *observer,
-            const std::function<void(UarchSystem &)> &preRun)
+extractScenarioResult(const ScenarioConfig &cfg, const Program &prog,
+                      const OooCore &core, const DigestTracer &digest,
+                      const std::vector<std::uint32_t> &commitPcs)
 {
     ScenarioResult out;
-    Program prog = makeFuzzProgram(cfg.programSeed, cfg.program);
-
-    CoreParams params;
-    params.strategy = cfg.strategy;
-    params.safepointMode = cfg.safepointMode;
-    params.tickSkip = cfg.tickSkip;
-    params.fastForward = cfg.fastForward;
-    params.detailWindow = cfg.detailWindow;
-    params.ffWarmup = cfg.ffWarmup;
-
-    UarchSystem sys(cfg.systemSeed);
-
-    DigestTracer digest;
-    std::vector<std::uint32_t> commitPcs;
-    digest.collectCommitPcs(&commitPcs);
-
-    TeeTracer tee;
-    tee.attach(&digest);
-    TraceLog unused;
-    LogTracer logger(capture != nullptr ? *capture : unused);
-    if (capture != nullptr) {
-        capture->clear();
-        tee.attach(&logger);
-    }
-    tee.attach(extraTracer);
-    sys.setTracer(&tee);
-    sys.setIntrObserver(observer);
-
-    OooCore &core = sys.addCore(params, &prog);
-    core.kbTimer().configure(true, 0x21);
-    core.kbTimer().setTimer(0, cfg.timerPeriod,
-                            KbTimerMode::Periodic);
-
-    if (preRun)
-        preRun(sys);
-
-    core.runUntilCommitted(cfg.targetInsts, cfg.maxCycles);
-    core.runCycles(cfg.extraCycles);
-
     const CoreStats &s = core.stats();
     out.fullDigest = digest.fullDigest();
     out.archDigest = digest.archDigest();
@@ -168,6 +129,53 @@ runScenario(const ScenarioConfig &cfg, TraceLog *capture,
             "conservation violated: committed > fetched uops");
     checkInterruptFacts(s, out);
     return out;
+}
+
+ScenarioResult
+runScenario(const ScenarioConfig &cfg, TraceLog *capture,
+            Tracer *extraTracer, IntrLifecycleObserver *observer,
+            const std::function<void(UarchSystem &)> &preRun)
+{
+    Program prog = makeFuzzProgram(cfg.programSeed, cfg.program);
+
+    CoreParams params;
+    params.strategy = cfg.strategy;
+    params.safepointMode = cfg.safepointMode;
+    params.tickSkip = cfg.tickSkip;
+    params.fastForward = cfg.fastForward;
+    params.detailWindow = cfg.detailWindow;
+    params.ffWarmup = cfg.ffWarmup;
+
+    UarchSystem sys(cfg.systemSeed);
+
+    DigestTracer digest;
+    std::vector<std::uint32_t> commitPcs;
+    digest.collectCommitPcs(&commitPcs);
+
+    TeeTracer tee;
+    tee.attach(&digest);
+    TraceLog unused;
+    LogTracer logger(capture != nullptr ? *capture : unused);
+    if (capture != nullptr) {
+        capture->clear();
+        tee.attach(&logger);
+    }
+    tee.attach(extraTracer);
+    sys.setTracer(&tee);
+    sys.setIntrObserver(observer);
+
+    OooCore &core = sys.addCore(params, &prog);
+    core.kbTimer().configure(true, 0x21);
+    core.kbTimer().setTimer(0, cfg.timerPeriod,
+                            KbTimerMode::Periodic);
+
+    if (preRun)
+        preRun(sys);
+
+    core.runUntilCommitted(cfg.targetInsts, cfg.maxCycles);
+    core.runCycles(cfg.extraCycles);
+
+    return extractScenarioResult(cfg, prog, core, digest, commitPcs);
 }
 
 DeterminismReport

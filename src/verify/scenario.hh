@@ -119,6 +119,20 @@ struct ScenarioResult
     bool ok() const { return violations.empty(); }
 };
 
+class DigestTracer;
+
+/**
+ * Build a ScenarioResult from a finished run's instrumentation —
+ * the digest tracer, the collected commit-PC stream, and the core's
+ * stats. Shared by runScenario() and the resumable ScenarioRun
+ * (scenario_run.hh) so both produce identical results for identical
+ * runs.
+ */
+ScenarioResult
+extractScenarioResult(const ScenarioConfig &cfg, const Program &prog,
+                      const OooCore &core, const DigestTracer &digest,
+                      const std::vector<std::uint32_t> &commitPcs);
+
 /**
  * Run one scenario.
  * @param capture when non-null, also records the full binary trace.

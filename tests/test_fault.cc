@@ -100,6 +100,78 @@ TEST(FaultSchedule, PreemptSaveSitesLeaveOldSchedulesByteIdentical)
     EXPECT_NE(s.encode().find("preempt_save"), std::string::npos);
 }
 
+TEST(FaultSchedule, CheckpointWriteEncodeDecodeRoundTrip)
+{
+    fault::Schedule s;
+    s.directives.push_back(
+        {fault::Site::CheckpointWrite, 2, fault::Action::Drop, 0});
+    s.directives.push_back({fault::Site::CheckpointWrite, 5,
+                            fault::Action::Duplicate, 137});
+    s.directives.push_back(
+        {fault::Site::CheckpointWrite, 0, fault::Action::Storm, 0});
+
+    std::string text = s.encode();
+    EXPECT_NE(text.find("checkpoint_write"), std::string::npos);
+    fault::Schedule back;
+    ASSERT_TRUE(fault::Schedule::decode(text, back));
+    ASSERT_EQ(back.size(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+        EXPECT_TRUE(back.directives[i] == s.directives[i]) << i;
+    EXPECT_EQ(back.encode(), text);
+}
+
+TEST(FaultSchedule, CkptSitesLeaveOldSchedulesByteIdentical)
+{
+    // The checkpoint-write fault classes default off, so every
+    // schedule generated before the snapshot engine existed must
+    // stay byte-identical (same pin as the preempt-save guard).
+    fault::Schedule def =
+        fault::generateSchedule(42, fault::ScheduleOptions{});
+    EXPECT_EQ(def.encode().find("checkpoint_write"),
+              std::string::npos);
+
+    // Opting in reaches the new site with every damage mode.
+    fault::ScheduleOptions opts;
+    opts.dropCkptWrite = true;
+    opts.tearCkptWrite = true;
+    opts.flipCkptWrite = true;
+    opts.truncateCkptWrite = true;
+    opts.stormDeschedule = true;
+    opts.directives = 64;
+    fault::Schedule s = fault::generateSchedule(42, opts);
+    bool sawDrop = false, sawTear = false, sawFlip = false;
+    bool sawTrunc = false, sawStorm = false;
+    for (const auto &d : s.directives) {
+        if (d.site == fault::Site::CheckpointWrite) {
+            sawDrop |= d.action == fault::Action::Drop;
+            sawTear |= d.action == fault::Action::Delay;
+            sawFlip |= d.action == fault::Action::Duplicate;
+            sawTrunc |= d.action == fault::Action::Reorder;
+        } else if (d.site == fault::Site::Deschedule) {
+            sawStorm |= d.action == fault::Action::Storm;
+        }
+    }
+    EXPECT_TRUE(sawDrop && sawTear && sawFlip && sawTrunc && sawStorm);
+    EXPECT_EQ(s.encode(),
+              fault::generateSchedule(42, opts).encode());
+}
+
+TEST(FaultInjector, CheckpointWriteMatchesScheduledOccurrence)
+{
+    fault::Schedule s;
+    s.directives.push_back({fault::Site::CheckpointWrite, 1,
+                            fault::Action::Spurious, 0});
+    fault::Injector inj(s);
+    EXPECT_EQ(inj.decide(fault::Site::CheckpointWrite).action,
+              fault::Action::None);
+    EXPECT_EQ(inj.decide(fault::Site::CheckpointWrite).action,
+              fault::Action::Spurious);
+    EXPECT_EQ(inj.decide(fault::Site::CheckpointWrite).action,
+              fault::Action::None);
+    EXPECT_EQ(inj.consults(fault::Site::CheckpointWrite), 3u);
+    EXPECT_EQ(inj.injected(), 1u);
+}
+
 TEST(FaultInjector, MatchesNthOccurrenceOnly)
 {
     fault::Schedule s;

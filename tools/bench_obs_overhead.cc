@@ -29,6 +29,8 @@
 #include <functional>
 #include <vector>
 
+#include "ckpt/build_info.hh"
+#include "ckpt/snapshot.hh"
 #include "obs/sampler.hh"
 #include "uarch/uarch_system.hh"
 #include "verify/scenario.hh"
@@ -88,9 +90,17 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
             if (trials == 0)
                 trials = 1;
+        } else if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("%s %s (%s), snapshot format %u\n",
+                        argv[0], xui::ckpt::kBuildGitSha,
+                        xui::ckpt::kBuildType,
+                        static_cast<unsigned>(
+                            xui::ckpt::kFormatVersion));
+            return 0;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--quick] [--trials N]\n",
+                         "usage: %s [--quick] [--trials N] "
+                         "[--version]\n",
                          argv[0]);
             return 2;
         }

@@ -24,12 +24,24 @@
  * invariants catch unrecovered loss (expect failures; pair with
  * --out-dir to collect the shrunk reproducers).
  *
+ * Checkpoint/restore wiring (DESIGN.md §14): --checkpoint-every N
+ * snapshots each cell every N fired events; with --ckpt-dir the
+ * snapshots are crash-consistent on-disk generation sets that
+ * --restore FILE resumes from (provenance-strict — a snapshot from a
+ * different binary is refused, see --version). --crash-at K
+ * simulates an in-process kill after K events; recovery restores the
+ * newest valid generation and the resumed run must match the
+ * crash-free one bit for bit.
+ *
  * Usage:
  *   xui_chaos [--scenario NAME|all] [--seeds N] [--seed-base S]
  *             [--jobs N] [--directives N] [--horizon CYCLES]
  *             [--budget EVENTS] [--no-recovery] [--no-shrink]
- *             [--out-dir DIR] [--quiet] [--list]
+ *             [--checkpoint-every N] [--ckpt-dir DIR]
+ *             [--out-dir DIR] [--quiet] [--list] [--version]
  *   xui_chaos --replay --scenario NAME --seed S --schedule TEXT
+ *             [--checkpoint-every N] [--crash-at K]
+ *             [--ckpt-dir DIR] [--restore FILE]
  */
 
 #include <cstdint>
@@ -40,6 +52,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/build_info.hh"
+#include "ckpt/snapshot.hh"
 #include "exec/sweep.hh"
 #include "fault/chaos.hh"
 #include "fault/fault.hh"
@@ -66,6 +80,10 @@ struct Options
     std::uint64_t seed = 1;
     std::string schedule;
     std::string outDir;
+    std::uint64_t checkpointEvery = 0;
+    std::uint64_t crashAt = 0;
+    std::string ckptDir;
+    std::string restorePath;
 };
 
 void
@@ -76,9 +94,31 @@ usage(const char *argv0)
         << " [--scenario NAME|all] [--seeds N] [--seed-base S]\n"
         << "       [--jobs N] [--directives N] [--horizon CYCLES]\n"
         << "       [--budget EVENTS] [--no-recovery] [--no-shrink]\n"
-        << "       [--out-dir DIR] [--quiet] [--list]\n"
+        << "       [--checkpoint-every N] [--ckpt-dir DIR]\n"
+        << "       [--out-dir DIR] [--quiet] [--list] [--version]\n"
         << "       " << argv0
-        << " --replay --scenario NAME --seed S --schedule TEXT\n";
+        << " --replay --scenario NAME --seed S --schedule TEXT\n"
+        << "       [--checkpoint-every N] [--crash-at K]\n"
+        << "       [--ckpt-dir DIR] [--restore FILE]\n";
+}
+
+/** Digits only, no sign/whitespace/trailing junk, must fit u64. */
+bool
+parseU64Strict(const char *s, std::uint64_t &out)
+{
+    if (*s == '\0')
+        return false;
+    std::uint64_t v = 0;
+    for (const char *p = s; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        std::uint64_t d = static_cast<std::uint64_t>(*p - '0');
+        if (v > (~std::uint64_t(0) - d) / 10)
+            return false;
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
 }
 
 bool
@@ -152,6 +192,43 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.outDir = v;
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+            const char *v = need("--checkpoint-every");
+            if (!v)
+                return false;
+            if (!parseU64Strict(v, opt.checkpointEvery) ||
+                opt.checkpointEvery == 0) {
+                std::cerr << "--checkpoint-every needs an integer "
+                             ">= 1, got '"
+                          << v << "'\n";
+                return false;
+            }
+        } else if (std::strcmp(argv[i], "--crash-at") == 0) {
+            const char *v = need("--crash-at");
+            if (!v)
+                return false;
+            if (!parseU64Strict(v, opt.crashAt) ||
+                opt.crashAt == 0) {
+                std::cerr << "--crash-at needs an integer >= 1, "
+                             "got '"
+                          << v << "'\n";
+                return false;
+            }
+        } else if (std::strcmp(argv[i], "--ckpt-dir") == 0) {
+            const char *v = need("--ckpt-dir");
+            if (!v)
+                return false;
+            opt.ckptDir = v;
+        } else if (std::strcmp(argv[i], "--restore") == 0) {
+            const char *v = need("--restore");
+            if (!v)
+                return false;
+            opt.restorePath = v;
+        } else if (std::strcmp(argv[i], "--version") == 0) {
+            std::cout << "xui_chaos " << ckpt::kBuildGitSha << " ("
+                      << ckpt::kBuildType << "), snapshot format "
+                      << ckpt::kFormatVersion << '\n';
+            std::exit(0);
         } else if (std::strcmp(argv[i], "--replay") == 0) {
             opt.replay = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -207,6 +284,15 @@ printCell(const chaos::CellResult &r)
                   << ", delayed " << r.modFlushDelayed
                   << "), coalesced-satisfied "
                   << r.coalescedSatisfied;
+    if (r.ckptSnapshots != 0 || r.rollbackRetries != 0 ||
+        r.crashRecovered)
+        std::cout << "\n  checkpoint: snapshots " << r.ckptSnapshots
+                  << ", corrupt-detected " << r.ckptCorruptDetected
+                  << ", fallbacks " << r.ckptFallbacks
+                  << ", rollback retries " << r.rollbackRetries
+                  << " (replayed " << r.rollbackEventsReplayed
+                  << " events)"
+                  << (r.crashRecovered ? ", crash recovered" : "");
     std::cout << '\n';
 }
 
@@ -216,18 +302,36 @@ runReplay(const Options &opt)
     chaos::CellConfig cc;
     if (!chaos::parseScenario(opt.scenario, cc.kind)) {
         std::cerr << "--replay needs a concrete --scenario name\n";
-        return 1;
+        return 2;
     }
     if (!fault::Schedule::decode(opt.schedule, cc.schedule)) {
         std::cerr << "malformed --schedule '" << opt.schedule
                   << "'\n";
-        return 1;
+        return 2;
     }
     cc.seed = opt.seed;
     cc.recovery = opt.recovery;
     cc.finalDrain = opt.recovery;
     cc.horizon = opt.horizon;
     cc.eventBudget = opt.budget;
+    cc.ckptEvery = opt.checkpointEvery;
+    cc.crashAtEvent = opt.crashAt;
+    cc.restoreFrom = opt.restorePath;
+    if (!opt.ckptDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt.ckptDir, ec);
+        if (ec) {
+            std::cerr << "cannot create " << opt.ckptDir << ": "
+                      << ec.message() << '\n';
+            return 2;
+        }
+        cc.ckptPathBase = opt.ckptDir + "/replay_" +
+                          std::string(chaos::scenarioName(cc.kind)) +
+                          "_" + std::to_string(cc.seed) + ".ckpt";
+        // Snapshots written on explicit request are the product:
+        // keep them so a later --restore can resume from them.
+        cc.ckptKeepFiles = true;
+    }
 
     chaos::CellResult r = chaos::runCell(cc);
     std::cout << "replay " << chaos::scenarioName(cc.kind)
@@ -249,7 +353,7 @@ runGridMain(const Options &opt)
         if (!chaos::parseScenario(opt.scenario, k)) {
             std::cerr << "unknown scenario '" << opt.scenario
                       << "' (try --list)\n";
-            return 1;
+            return 2;
         }
         gc.kinds.push_back(k);
     }
@@ -262,6 +366,17 @@ runGridMain(const Options &opt)
     gc.shrinkFailures = opt.shrinkFailures;
     gc.horizon = opt.horizon;
     gc.eventBudget = opt.budget;
+    gc.ckptDir = opt.ckptDir;
+    gc.ckptEvery = opt.checkpointEvery;
+    if (!opt.ckptDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt.ckptDir, ec);
+        if (ec) {
+            std::cerr << "cannot create " << opt.ckptDir << ": "
+                      << ec.message() << '\n';
+            return 2;
+        }
+    }
 
     chaos::GridOutcome out = chaos::runGrid(gc);
 
@@ -293,6 +408,12 @@ runGridMain(const Options &opt)
                 std::string(chaos::scenarioName(rep.kind)) + "-" +
                 std::to_string(rep.seed) + ".repro";
             std::ofstream f(path);
+            // Provenance stamp: replaying a .repro against a
+            // different binary is the classic silent-divergence
+            // trap, so record the producer (cf. --version).
+            f << "# built-by: " << ckpt::kBuildGitSha << " ("
+              << ckpt::kBuildType << "), snapshot format "
+              << ckpt::kFormatVersion << '\n';
             f << replayCommand(rep, opt) << '\n';
             for (const auto &v : rep.result.violations)
                 f << "# " << v << '\n';
@@ -314,8 +435,21 @@ int
 main(int argc, char **argv)
 {
     Options opt;
+    // Usage errors exit 2, matching the bench convention, so CI can
+    // tell "bad invocation" apart from "cells failed" (also 2 — both
+    // mean the run produced no trustworthy result).
     if (!parseArgs(argc, argv, opt))
-        return 1;
+        return 2;
+    if (!opt.restorePath.empty() && !opt.replay) {
+        std::cerr << "--restore is a --replay flag (a snapshot "
+                     "resumes one cell, not a grid)\n";
+        return 2;
+    }
+    if (opt.crashAt != 0 && !opt.replay) {
+        std::cerr << "--crash-at is a --replay flag (grid cells "
+                     "pick seed-determined crash points)\n";
+        return 2;
+    }
     if (opt.list) {
         for (std::size_t i = 0; i < chaos::kNumScenarios; ++i)
             std::cout << chaos::scenarioName(
